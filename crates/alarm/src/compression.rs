@@ -1,0 +1,160 @@
+//! Alarm compression (the AABD deployment use case, §VI-D): "alarm
+//! compression is achieved by only showing `Low_signal` to the
+//! maintenance workers when they appear simultaneously" — derivative
+//! alarms are suppressed whenever their cause alarm is active on the
+//! same or a linked device within the window.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::miner::RankedPairs;
+use crate::rules::{AlarmType, RuleLibrary};
+use crate::simulator::AlarmEvent;
+use crate::topology::TelecomTopology;
+
+/// Result of compressing an alarm log with a rule list.
+#[derive(Debug, Clone)]
+pub struct CompressionReport {
+    /// Alarms shown to the operator after suppression.
+    pub kept: Vec<AlarmEvent>,
+    /// Number of suppressed alarms.
+    pub suppressed: usize,
+    /// Fraction of the log suppressed (higher = stronger compression).
+    pub compression_ratio: f64,
+    /// Of the suppressed alarms, how many were *true* derivatives per
+    /// the ground-truth library (only computable in simulation).
+    pub correctly_suppressed: usize,
+}
+
+impl CompressionReport {
+    /// Precision of suppression: correctly suppressed / suppressed.
+    pub fn suppression_precision(&self) -> f64 {
+        if self.suppressed == 0 {
+            1.0
+        } else {
+            self.correctly_suppressed as f64 / self.suppressed as f64
+        }
+    }
+}
+
+/// Compresses the log using the `top_k` ranked rules: within each
+/// window, a derivative alarm is suppressed when its cause is active on
+/// the same device or a linked neighbour.
+pub fn compress_log(
+    topo: &TelecomTopology,
+    events: &[AlarmEvent],
+    rules: &RankedPairs,
+    top_k: usize,
+    window_ms: u64,
+    truth: Option<&RuleLibrary>,
+) -> CompressionReport {
+    // derivative -> causes that suppress it.
+    let mut suppressors: HashMap<AlarmType, Vec<AlarmType>> = HashMap::new();
+    for r in rules.iter().take(top_k) {
+        suppressors.entry(r.derivative).or_default().push(r.cause);
+    }
+    let valid: HashSet<(AlarmType, AlarmType)> = truth
+        .map(|t| t.pair_rules().into_iter().collect())
+        .unwrap_or_default();
+
+    let mut kept = Vec::with_capacity(events.len());
+    let mut suppressed = 0usize;
+    let mut correctly_suppressed = 0usize;
+
+    let mut i = 0usize;
+    while i < events.len() {
+        let w = events[i].time / window_ms;
+        let mut j = i;
+        while j < events.len() && events[j].time / window_ms == w {
+            j += 1;
+        }
+        // Active alarm sets per device for this window.
+        let mut per_device: HashMap<u32, HashSet<AlarmType>> = HashMap::new();
+        for e in &events[i..j] {
+            per_device.entry(e.device).or_default().insert(e.alarm);
+        }
+        for e in &events[i..j] {
+            let cause_nearby = suppressors.get(&e.alarm).and_then(|causes| {
+                let near_devices =
+                    std::iter::once(e.device).chain(topo.neighbors(e.device).iter().copied());
+                for d in near_devices {
+                    if let Some(active) = per_device.get(&d) {
+                        if let Some(&c) = causes.iter().find(|c| active.contains(c)) {
+                            return Some(c);
+                        }
+                    }
+                }
+                None
+            });
+            match cause_nearby {
+                Some(cause) => {
+                    suppressed += 1;
+                    if valid.contains(&(cause, e.alarm)) {
+                        correctly_suppressed += 1;
+                    }
+                }
+                None => kept.push(*e),
+            }
+        }
+        i = j;
+    }
+
+    CompressionReport {
+        suppressed,
+        correctly_suppressed,
+        compression_ratio: suppressed as f64 / events.len().max(1) as f64,
+        kept,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::miner::cspm_rank;
+    use crate::simulator::{simulate, SimConfig};
+
+    fn scenario() -> (TelecomTopology, RuleLibrary, Vec<AlarmEvent>, u64) {
+        let topo = TelecomTopology::generate(3, 8, 40, 5);
+        let rules = RuleLibrary::generate(5, 12, 40, 6);
+        let cfg = SimConfig { n_events: 4000, n_windows: 60, ..Default::default() };
+        let events = simulate(&topo, &rules, &cfg);
+        (topo, rules, events, cfg.window_ms)
+    }
+
+    #[test]
+    fn cspm_rules_compress_most_derivative_traffic() {
+        let (topo, rules, events, w) = scenario();
+        let ranked = cspm_rank(&topo, &events, w);
+        let report = compress_log(&topo, &events, &ranked, 2 * rules.pair_rules().len(), w, Some(&rules));
+        // Derivative alarms are ~55%·(0.85·|derivs|/(1+0.85·|derivs|)) of
+        // the log; a good rule list suppresses a large share of them.
+        assert!(
+            report.compression_ratio > 0.25,
+            "only {:.3} compressed",
+            report.compression_ratio
+        );
+        assert!(
+            report.suppression_precision() > 0.7,
+            "precision {:.3}",
+            report.suppression_precision()
+        );
+        assert_eq!(report.kept.len() + report.suppressed, events.len());
+    }
+
+    #[test]
+    fn empty_rule_list_compresses_nothing() {
+        let (topo, _, events, w) = scenario();
+        let report = compress_log(&topo, &events, &Vec::new(), 10, w, None);
+        assert_eq!(report.suppressed, 0);
+        assert_eq!(report.kept.len(), events.len());
+        assert_eq!(report.suppression_precision(), 1.0);
+    }
+
+    #[test]
+    fn more_rules_never_reduce_compression() {
+        let (topo, rules, events, w) = scenario();
+        let ranked = cspm_rank(&topo, &events, w);
+        let r10 = compress_log(&topo, &events, &ranked, 10, w, Some(&rules));
+        let r100 = compress_log(&topo, &events, &ranked, 100, w, Some(&rules));
+        assert!(r100.suppressed >= r10.suppressed);
+    }
+}

@@ -1,0 +1,132 @@
+//! The ground-truth alarm rule library (AABD-style).
+
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, Rng, SeedableRng};
+
+/// Dense alarm-type identifier.
+pub type AlarmType = u16;
+
+/// One expert rule: a cause alarm that triggers derivative alarms
+/// (e.g. `Low_signal → {Link_degrader, Microwave_stripping}`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlarmRule {
+    /// The cause alarm type.
+    pub cause: AlarmType,
+    /// The derivative alarm types it triggers.
+    pub derivatives: Vec<AlarmType>,
+}
+
+/// The rule library plus the overall alarm-type universe.
+#[derive(Debug, Clone)]
+pub struct RuleLibrary {
+    rules: Vec<AlarmRule>,
+    n_types: usize,
+}
+
+impl RuleLibrary {
+    /// Generates a library shaped like the paper's: `n_rules` rules over
+    /// `n_types` alarm types, decomposing into `n_pairs` cause→derivative
+    /// pair rules (paper: 11 rules, 300 types, 121 pairs). Causes and
+    /// derivatives are disjoint type sets; leftover types are pure noise.
+    pub fn generate(n_rules: usize, n_pairs: usize, n_types: usize, seed: u64) -> Self {
+        assert!(n_pairs >= n_rules, "each rule needs at least one derivative");
+        assert!(n_types >= n_rules + n_pairs, "type universe too small");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut types: Vec<AlarmType> = (0..n_types as AlarmType).collect();
+        types.shuffle(&mut rng);
+        let causes: Vec<AlarmType> = types[..n_rules].to_vec();
+        let derivative_pool = &types[n_rules..n_rules + n_pairs];
+        // Split the derivative pool into n_rules chunks of random sizes
+        // (each ≥ 1) summing to n_pairs.
+        let mut sizes = vec![1usize; n_rules];
+        for _ in 0..n_pairs - n_rules {
+            sizes[rng.gen_range(0..n_rules)] += 1;
+        }
+        let mut rules = Vec::with_capacity(n_rules);
+        let mut offset = 0;
+        for (i, &size) in sizes.iter().enumerate() {
+            rules.push(AlarmRule {
+                cause: causes[i],
+                derivatives: derivative_pool[offset..offset + size].to_vec(),
+            });
+            offset += size;
+        }
+        Self { rules, n_types }
+    }
+
+    /// The rules.
+    pub fn rules(&self) -> &[AlarmRule] {
+        &self.rules
+    }
+
+    /// Size of the alarm-type universe.
+    pub fn n_types(&self) -> usize {
+        self.n_types
+    }
+
+    /// Decomposition into `(cause, derivative)` pair rules — the valid
+    /// set `A` of the coverage metric.
+    pub fn pair_rules(&self) -> Vec<(AlarmType, AlarmType)> {
+        self.rules
+            .iter()
+            .flat_map(|r| r.derivatives.iter().map(move |&d| (r.cause, d)))
+            .collect()
+    }
+
+    /// Alarm types that belong to no rule (background noise types).
+    pub fn noise_types(&self) -> Vec<AlarmType> {
+        let mut in_rule = vec![false; self.n_types];
+        for r in &self.rules {
+            in_rule[r.cause as usize] = true;
+            for &d in &r.derivatives {
+                in_rule[d as usize] = true;
+            }
+        }
+        (0..self.n_types as AlarmType)
+            .filter(|&t| !in_rule[t as usize])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_shape_decomposes_into_121_pairs() {
+        let lib = RuleLibrary::generate(11, 121, 300, 7);
+        assert_eq!(lib.rules().len(), 11);
+        assert_eq!(lib.pair_rules().len(), 121);
+        assert_eq!(lib.n_types(), 300);
+        assert_eq!(lib.noise_types().len(), 300 - 11 - 121);
+    }
+
+    #[test]
+    fn causes_and_derivatives_are_disjoint() {
+        let lib = RuleLibrary::generate(11, 121, 300, 7);
+        let causes: Vec<AlarmType> = lib.rules().iter().map(|r| r.cause).collect();
+        for r in lib.rules() {
+            for d in &r.derivatives {
+                assert!(!causes.contains(d), "derivative {d} is also a cause");
+            }
+        }
+        // No derivative is shared between rules.
+        let all: Vec<AlarmType> = lib.rules().iter().flat_map(|r| r.derivatives.clone()).collect();
+        let mut dedup = all.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(all.len(), dedup.len());
+    }
+
+    #[test]
+    fn every_rule_has_a_derivative() {
+        let lib = RuleLibrary::generate(5, 9, 50, 2);
+        assert!(lib.rules().iter().all(|r| !r.derivatives.is_empty()));
+    }
+
+    #[test]
+    #[should_panic(expected = "type universe too small")]
+    fn universe_check() {
+        let _ = RuleLibrary::generate(10, 100, 50, 1);
+    }
+}

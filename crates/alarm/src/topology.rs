@@ -1,0 +1,131 @@
+//! Telecom network topology generation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A three-tier telecom device network: meshed core routers, aggregation
+/// rings dual-homed to the core, and access devices hanging off the
+/// aggregation layer — the standard metro-network shape.
+#[derive(Debug, Clone)]
+pub struct TelecomTopology {
+    adjacency: Vec<Vec<u32>>,
+    n_core: usize,
+    n_agg: usize,
+}
+
+impl TelecomTopology {
+    /// Generates a topology with the given tier sizes.
+    pub fn generate(n_core: usize, n_agg: usize, n_access: usize, seed: u64) -> Self {
+        assert!(n_core >= 2 && n_agg >= 2);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = n_core + n_agg + n_access;
+        let mut adjacency: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let connect = |adj: &mut Vec<Vec<u32>>, u: usize, v: usize| {
+            if u != v && !adj[u].contains(&(v as u32)) {
+                adj[u].push(v as u32);
+                adj[v].push(u as u32);
+            }
+        };
+        // Core: full mesh.
+        for i in 0..n_core {
+            for j in i + 1..n_core {
+                connect(&mut adjacency, i, j);
+            }
+        }
+        // Aggregation: ring + dual-homing to two random cores.
+        for k in 0..n_agg {
+            let a = n_core + k;
+            let b = n_core + (k + 1) % n_agg;
+            connect(&mut adjacency, a, b);
+            let c1 = rng.gen_range(0..n_core);
+            let mut c2 = rng.gen_range(0..n_core);
+            if c2 == c1 {
+                c2 = (c1 + 1) % n_core;
+            }
+            connect(&mut adjacency, a, c1);
+            connect(&mut adjacency, a, c2);
+        }
+        // Access: one or two uplinks into the aggregation layer.
+        for k in 0..n_access {
+            let a = n_core + n_agg + k;
+            let up = n_core + rng.gen_range(0..n_agg);
+            connect(&mut adjacency, a, up);
+            if rng.gen::<f64>() < 0.3 {
+                let up2 = n_core + rng.gen_range(0..n_agg);
+                connect(&mut adjacency, a, up2);
+            }
+        }
+        for list in &mut adjacency {
+            list.sort_unstable();
+        }
+        Self { adjacency, n_core, n_agg }
+    }
+
+    /// Number of devices.
+    pub fn n_devices(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Neighbours of a device.
+    pub fn neighbors(&self, d: u32) -> &[u32] {
+        &self.adjacency[d as usize]
+    }
+
+    /// Number of links.
+    pub fn n_links(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Tier of a device: 0 = core, 1 = aggregation, 2 = access.
+    pub fn tier(&self, d: u32) -> u8 {
+        let d = d as usize;
+        if d < self.n_core {
+            0
+        } else if d < self.n_core + self.n_agg {
+            1
+        } else {
+            2
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_connectivity() {
+        let t = TelecomTopology::generate(4, 10, 50, 3);
+        assert_eq!(t.n_devices(), 64);
+        // Core mesh: 6 links; agg ring: 10; dual-home: ≤20; access ≥50.
+        assert!(t.n_links() >= 6 + 10 + 10 + 50);
+        // Every device reaches the core: BFS from device 0.
+        let mut seen = vec![false; t.n_devices()];
+        let mut stack = vec![0u32];
+        seen[0] = true;
+        while let Some(v) = stack.pop() {
+            for &u in t.neighbors(v) {
+                if !seen[u as usize] {
+                    seen[u as usize] = true;
+                    stack.push(u);
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "topology must be connected");
+    }
+
+    #[test]
+    fn tiers_are_assigned() {
+        let t = TelecomTopology::generate(2, 3, 5, 1);
+        assert_eq!(t.tier(0), 0);
+        assert_eq!(t.tier(2), 1);
+        assert_eq!(t.tier(5), 2);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = TelecomTopology::generate(3, 6, 20, 9);
+        let b = TelecomTopology::generate(3, 6, 20, 9);
+        assert_eq!(a.adjacency, b.adjacency);
+    }
+}

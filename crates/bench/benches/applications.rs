@@ -1,0 +1,63 @@
+//! Criterion micro-benchmarks for the application layers: the CSPM
+//! scoring module (Algorithm 5), score fusion, the alarm pipeline
+//! stages, and the nn substrate kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cspm_alarm::{acor_rank, build_window_graph, simulate, RuleLibrary, SimConfig, TelecomTopology};
+use cspm_completion::{fuse_scores, CompletionTask, CspmScorer};
+use cspm_datasets::{citation_completion, CompletionKind, Scale};
+use cspm_nn::{Matrix, SparseMatrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_scoring(c: &mut Criterion) {
+    let d = citation_completion(CompletionKind::Dblp, Scale::Tiny, 3);
+    let task = CompletionTask::split(&d.graph, 0.4, 9);
+    let scorer = CspmScorer::fit(&task);
+    c.bench_function("alg5_score_all", |b| {
+        b.iter(|| scorer.score_all(black_box(&task)))
+    });
+    let scores = scorer.score_all(&task);
+    let model = Matrix::zeros(scores.rows(), scores.cols());
+    c.bench_function("fig7_fuse_scores", |b| {
+        b.iter(|| fuse_scores(black_box(&model), black_box(&scores)))
+    });
+}
+
+fn bench_alarm_pipeline(c: &mut Criterion) {
+    let topo = TelecomTopology::generate(3, 8, 40, 5);
+    let rules = RuleLibrary::generate(5, 12, 40, 6);
+    let cfg = SimConfig { n_events: 5000, n_windows: 50, ..Default::default() };
+    c.bench_function("alarm_simulate_5k", |b| {
+        b.iter(|| simulate(black_box(&topo), black_box(&rules), &cfg))
+    });
+    let events = simulate(&topo, &rules, &cfg);
+    c.bench_function("alarm_window_graph", |b| {
+        b.iter(|| build_window_graph(black_box(&topo), black_box(&events), cfg.window_ms))
+    });
+    c.bench_function("alarm_acor_rank", |b| {
+        b.iter(|| acor_rank(black_box(&topo), black_box(&events), cfg.window_ms))
+    });
+}
+
+fn bench_nn_kernels(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let a = Matrix::xavier(128, 64, &mut rng);
+    let b2 = Matrix::xavier(64, 128, &mut rng);
+    c.bench_function("matmul_128x64x128", |b| {
+        b.iter(|| black_box(&a).matmul(black_box(&b2)))
+    });
+    let nbrs: Vec<Vec<u32>> = (0..256u32)
+        .map(|i| vec![(i + 1) % 256, (i + 7) % 256, (i + 31) % 256])
+        .collect();
+    let p = SparseMatrix::normalized_adjacency(&nbrs, 1.0);
+    let x = Matrix::xavier(256, 64, &mut rng);
+    c.bench_function("spmm_256x64", |b| {
+        b.iter(|| black_box(&p).spmm(black_box(&x)))
+    });
+}
+
+criterion_group!(benches, bench_scoring, bench_alarm_pipeline, bench_nn_kernels);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion micro-benchmarks for the itemset substrate: Eclat mining,
+//! Krimp and SLIM compression.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cspm_itemset::{eclat, krimp, slim, KrimpConfig, SlimConfig, TransactionDb};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A transaction database with planted patterns plus noise.
+fn synthetic_db(n_transactions: usize, n_items: u32, seed: u64) -> TransactionDb {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::with_capacity(n_transactions);
+    for _ in 0..n_transactions {
+        let mut t = Vec::new();
+        // Planted block: items 0..3 co-occur 40% of the time.
+        if rng.gen::<f64>() < 0.4 {
+            t.extend_from_slice(&[0, 1, 2]);
+        }
+        for _ in 0..rng.gen_range(1..5) {
+            t.push(rng.gen_range(0..n_items));
+        }
+        rows.push(t);
+    }
+    TransactionDb::from_rows(rows)
+}
+
+fn bench_eclat(c: &mut Criterion) {
+    let db = synthetic_db(500, 40, 7);
+    let mut g = c.benchmark_group("eclat");
+    for minsup in [5u32, 20, 80] {
+        g.bench_function(format!("minsup_{minsup}"), |b| {
+            b.iter(|| eclat(black_box(&db), minsup))
+        });
+    }
+    g.finish();
+}
+
+fn bench_compressors(c: &mut Criterion) {
+    let db = synthetic_db(300, 30, 7);
+    let mut g = c.benchmark_group("compressors");
+    g.sample_size(10);
+    g.bench_function("krimp", |b| {
+        b.iter(|| krimp(black_box(&db), KrimpConfig { min_support: 10, prune: false, ..Default::default() }))
+    });
+    g.bench_function("slim", |b| {
+        b.iter(|| slim(black_box(&db), SlimConfig::default()))
+    });
+    g.finish();
+}
+
+fn bench_cover(c: &mut Criterion) {
+    let db = synthetic_db(1000, 50, 7);
+    let res = slim(&db, SlimConfig { max_accepted: Some(8), ..Default::default() });
+    c.bench_function("code_table_cover", |b| {
+        b.iter(|| res.code_table.cover(black_box(&db)))
+    });
+}
+
+criterion_group!(benches, bench_eclat, bench_compressors, bench_cover);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Ablation A3: sensitivity of the Fig. 8 result to noise-type skew.
+//!
+//! CSPM ranks rules by MDL code length, i.e. by (penalised) joint
+//! probability; ACOR by a normalised per-pair correlation. When the
+//! noise-type popularity distribution is flat (rule-dominated logs, the
+//! paper's regime) CSPM's curve dominates; as noise concentrates into
+//! chatty types, sheer frequency starts to outrank genuine correlation
+//! and the advantage erodes. This binary sweeps that knob so the
+//! boundary of the reproduction claim is explicit.
+//!
+//! ```text
+//! cargo run --release -p cspm-bench --bin ablation_noise_skew
+//! ```
+
+use cspm_alarm::{acor_rank, coverage_curve, cspm_rank, simulate, RuleLibrary, SimConfig, TelecomTopology};
+use cspm_bench::{hr, parse_args};
+use cspm_datasets::Scale;
+
+fn main() {
+    let args = parse_args();
+    let (n_events, n_windows, devices) = match args.scale {
+        Scale::Paper => (1_000_000, 1000, (8, 40, 1000)),
+        Scale::Small => (100_000, 300, (6, 24, 400)),
+        Scale::Tiny => (20_000, 100, (4, 12, 80)),
+    };
+    let topo = TelecomTopology::generate(devices.0, devices.1, devices.2, args.seed);
+    let rules = RuleLibrary::generate(11, 121, 300, args.seed.wrapping_add(1));
+    let valid = rules.pair_rules();
+    let ks: Vec<usize> = (1..=20).map(|i| i * 25).collect();
+
+    println!("Ablation: noise-skew sensitivity of Fig. 8 (scale {:?})\n", args.scale);
+    println!(
+        "{:>10} {:>12} {:>12} {:>16} {:>16}",
+        "zipf s", "CSPM AUC", "ACOR AUC", "CSPM cov@121", "ACOR cov@121"
+    );
+    hr(72);
+    for skew in [0.0, 0.3, 0.6, 0.9, 1.2] {
+        let cfg = SimConfig {
+            n_events,
+            n_windows,
+            noise_fraction: 0.45,
+            derivative_prob: 0.7,
+            noise_zipf_exponent: skew,
+            ..Default::default()
+        };
+        let events = simulate(&topo, &rules, &cfg);
+        let cspm = cspm_rank(&topo, &events, cfg.window_ms);
+        let acor = acor_rank(&topo, &events, cfg.window_ms);
+        let auc = |ranked| {
+            coverage_curve(&valid, ranked, &ks)
+                .iter()
+                .map(|&(_, v)| v)
+                .sum::<f64>()
+        };
+        let at_v = |ranked| coverage_curve(&valid, ranked, &[valid.len()])[0].1;
+        println!(
+            "{:>10.1} {:>12.2} {:>12.2} {:>16.3} {:>16.3}",
+            skew,
+            auc(&cspm),
+            auc(&acor),
+            at_v(&cspm),
+            at_v(&acor)
+        );
+    }
+    println!("\nreading: the paper's dominance claim (Fig. 8) holds in the");
+    println!("rule-dominated regime (low skew); chatty noise erodes it.");
+}

@@ -1,0 +1,58 @@
+//! Extension experiment: alarm compression with mined rules — the AABD
+//! deployment use case the paper motivates in §VI-D ("reduce the number
+//! of alarms presented to maintenance workers").
+//!
+//! Sweeps the number of top-ranked rules used for suppression and
+//! reports compression ratio and suppression precision for both CSPM
+//! and ACOR rule lists.
+//!
+//! ```text
+//! cargo run --release -p cspm-bench --bin ext_alarm_compression
+//! ```
+
+use cspm_alarm::{
+    acor_rank, compress_log, cspm_rank, simulate, RuleLibrary, SimConfig, TelecomTopology,
+};
+use cspm_bench::{hr, parse_args};
+use cspm_datasets::Scale;
+
+fn main() {
+    let args = parse_args();
+    let (n_events, n_windows, devices) = match args.scale {
+        Scale::Paper => (2_000_000, 1000, (8, 40, 1000)),
+        Scale::Small => (200_000, 400, (6, 24, 400)),
+        Scale::Tiny => (20_000, 100, (4, 12, 80)),
+    };
+    let topo = TelecomTopology::generate(devices.0, devices.1, devices.2, args.seed);
+    let rules = RuleLibrary::generate(11, 121, 300, args.seed.wrapping_add(1));
+    let cfg = SimConfig { n_events, n_windows, ..Default::default() };
+    let events = simulate(&topo, &rules, &cfg);
+    println!(
+        "Extension: alarm compression ({} alarms, {} valid pair rules)\n",
+        events.len(),
+        rules.pair_rules().len()
+    );
+
+    let ranked_cspm = cspm_rank(&topo, &events, cfg.window_ms);
+    let ranked_acor = acor_rank(&topo, &events, cfg.window_ms);
+
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>12}",
+        "top-K", "CSPM ratio", "CSPM prec", "ACOR ratio", "ACOR prec"
+    );
+    hr(62);
+    for k in [30usize, 60, 121, 242, 500] {
+        let c = compress_log(&topo, &events, &ranked_cspm, k, cfg.window_ms, Some(&rules));
+        let a = compress_log(&topo, &events, &ranked_acor, k, cfg.window_ms, Some(&rules));
+        println!(
+            "{:>8} {:>12.3} {:>12.3} {:>12.3} {:>12.3}",
+            k,
+            c.compression_ratio,
+            c.suppression_precision(),
+            a.compression_ratio,
+            a.suppression_precision()
+        );
+    }
+    println!("\nreading: with the valid rules ranked on top, CSPM reaches high");
+    println!("compression at small K while keeping suppression precision high.");
+}

@@ -1,0 +1,54 @@
+//! Extension experiment (paper §VII future work, item 1): graph
+//! classification with a-star features.
+//!
+//! Classes share the same attribute vocabulary but wire attributes
+//! differently around hubs; a-star occurrence features therefore beat a
+//! structure-blind attribute-histogram baseline.
+//!
+//! ```text
+//! cargo run --release -p cspm-bench --bin ext_graph_classification
+//! ```
+
+use cspm_bench::{hr, parse_args};
+use cspm_classify::{labeled_graph_collection, train_classifier, CollectionConfig};
+use cspm_datasets::Scale;
+use cspm_nn::NetConfig;
+
+fn main() {
+    let args = parse_args();
+    let (graphs_per_class, motifs) = match args.scale {
+        Scale::Paper => (60, 16),
+        Scale::Small => (30, 10),
+        Scale::Tiny => (15, 6),
+    };
+    println!(
+        "Extension: graph classification with a-star features (scale {:?})\n",
+        args.scale
+    );
+    println!(
+        "{:>8} {:>10} {:>14} {:>14} {:>10}",
+        "classes", "fidelity", "a-star acc", "histogram acc", "dims"
+    );
+    hr(62);
+    for n_classes in [2usize, 3] {
+        for fidelity in [0.95, 0.85, 0.7] {
+            let data = labeled_graph_collection(
+                n_classes,
+                CollectionConfig {
+                    graphs_per_class,
+                    motifs_per_graph: motifs,
+                    signature_fidelity: fidelity,
+                    seed: args.seed,
+                },
+            );
+            let cfg = NetConfig { hidden: 16, epochs: 250, ..Default::default() };
+            let report = train_classifier(&data, 0.3, 24, &cfg, args.seed ^ 7);
+            println!(
+                "{:>8} {:>10.2} {:>14.3} {:>14.3} {:>10}",
+                n_classes, fidelity, report.astar_accuracy, report.histogram_accuracy, report.astar_dims
+            );
+        }
+    }
+    println!("\nreading: a-star features separate structurally-defined classes that");
+    println!("attribute histograms cannot; the gap narrows as signature fidelity drops.");
+}

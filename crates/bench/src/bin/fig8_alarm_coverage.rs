@@ -1,0 +1,83 @@
+//! Fig. 8: coverage ratio of CSPM vs ACOR for alarm correlation
+//! analysis on the simulated telecom log.
+//!
+//! The shape to reproduce: both curves rise to 1.0 as more rules are
+//! selected; CSPM ranks the valid rules higher, so its curve dominates
+//! ACOR's at small top-K.
+//!
+//! ```text
+//! cargo run --release -p cspm-bench --bin fig8_alarm_coverage [--paper]
+//! ```
+
+use cspm_alarm::{acor_rank, coverage_curve, cspm_rank, simulate, RuleLibrary, SimConfig, TelecomTopology};
+use cspm_bench::{hr, parse_args};
+use cspm_datasets::Scale;
+
+fn main() {
+    let args = parse_args();
+    // Paper shape: 300 alarm types, 11 rules → 121 pairs, ~6M alarms.
+    // Smaller scales keep the structure but shrink the log.
+    let (n_events, n_windows, devices) = match args.scale {
+        Scale::Paper => (6_000_000, 2000, (8, 60, 1500)),
+        Scale::Small => (200_000, 400, (6, 24, 400)),
+        Scale::Tiny => (20_000, 100, (4, 12, 80)),
+    };
+    let topo = TelecomTopology::generate(devices.0, devices.1, devices.2, args.seed);
+    let rules = RuleLibrary::generate(11, 121, 300, args.seed.wrapping_add(1));
+    let cfg = SimConfig {
+        n_events,
+        n_windows,
+        noise_fraction: 0.45,
+        derivative_prob: 0.7,
+        ..Default::default()
+    };
+    let events = simulate(&topo, &rules, &cfg);
+    println!(
+        "Fig. 8: alarm-rule coverage (scale {:?}): {} alarms, {} devices, {} valid pair rules\n",
+        args.scale,
+        events.len(),
+        topo.n_devices(),
+        rules.pair_rules().len()
+    );
+
+    let t = std::time::Instant::now();
+    let cspm = cspm_rank(&topo, &events, cfg.window_ms);
+    let cspm_time = t.elapsed().as_secs_f64();
+    let t = std::time::Instant::now();
+    let acor = acor_rank(&topo, &events, cfg.window_ms);
+    let acor_time = t.elapsed().as_secs_f64();
+    println!(
+        "CSPM: {} ranked rules in {:.1}s; ACOR: {} ranked rules in {:.1}s\n",
+        cspm.len(),
+        cspm_time,
+        acor.len(),
+        acor_time
+    );
+
+    let valid = rules.pair_rules();
+    let ks: Vec<usize> = [
+        10, 25, 50, 75, 100, 150, 200, 300, 400, 600, 800, 1000, 1500, 2000,
+    ]
+    .into_iter()
+    .filter(|&k| k <= cspm.len().max(acor.len()))
+    .collect();
+    println!("{:>7} {:>10} {:>10}", "top-K", "CSPM", "ACOR");
+    hr(30);
+    let c1 = coverage_curve(&valid, &cspm, &ks);
+    let c2 = coverage_curve(&valid, &acor, &ks);
+    let mut auc = (0.0, 0.0);
+    for ((k, a), (_, b)) in c1.iter().zip(&c2) {
+        println!("{k:>7} {a:>10.3} {b:>10.3}");
+        auc.0 += a;
+        auc.1 += b;
+    }
+    hr(30);
+    let verdict = if auc.0 > auc.1 {
+        "CSPM dominates — matches Fig. 8"
+    } else if auc.0 == auc.1 {
+        "tie (both rank every valid rule ahead of the noise at this scale)"
+    } else {
+        "ACOR dominates — deviates from Fig. 8"
+    };
+    println!("area under curve: CSPM {:.2} vs ACOR {:.2} ({verdict})", auc.0, auc.1);
+}

@@ -1,0 +1,39 @@
+//! Table II: statistics about the (synthetic) benchmark datasets,
+//! including the inverted-database coreset count `|Sc^M|`.
+//!
+//! ```text
+//! cargo run --release -p cspm-bench --bin table2_datasets [--paper]
+//! ```
+
+use cspm_bench::{hr, parse_args};
+use cspm_core::{CoresetMode, GainPolicy, InvertedDb};
+use cspm_datasets::benchmark_suite;
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "Table II: Statistics about datasets (scale {:?}, seed {})\n",
+        args.scale, args.seed
+    );
+    println!(
+        "{:<22} {:>10} {:>14} {:>8} {:>8} {:>10}",
+        "Dataset", "#Nodes", "#Total edges", "|A|", "|Sc^M|", "Category"
+    );
+    hr(78);
+    for d in benchmark_suite(args.scale, args.seed) {
+        let (n, m, a) = d.statistics();
+        let db = InvertedDb::build(&d.graph, CoresetMode::SingleValue, GainPolicy::Total);
+        println!(
+            "{:<22} {:>10} {:>14} {:>8} {:>8} {:>10}",
+            d.name,
+            n,
+            m,
+            a,
+            db.coreset_count(),
+            d.category
+        );
+    }
+    println!();
+    println!("paper reference (Table II): DBLP 2,723/3,464/|Sc^M|=127; DBLP-Trend 2,723/3,464/271;");
+    println!("USFlight 280/4,030/70; Pokec 1,632,803/30,622,564/914");
+}

@@ -1,0 +1,168 @@
+//! The attribute-missing completion task.
+
+use cspm_graph::{AttributedGraph, VertexId};
+use cspm_nn::Matrix;
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, SeedableRng};
+
+/// A completion task: a graph, a train/test node split, the observed
+/// binary attribute matrix (test rows zeroed) and the ground truth.
+#[derive(Debug, Clone)]
+pub struct CompletionTask {
+    /// The full attributed graph (ground-truth labels everywhere).
+    pub graph: AttributedGraph,
+    /// Observed attribute matrix `n × |A|`: test-node rows are zeroed.
+    pub x_observed: Matrix,
+    /// Ground-truth attribute matrix `n × |A|`.
+    pub targets: Matrix,
+    /// True for nodes whose attributes are observed (training rows).
+    pub train_mask: Vec<bool>,
+    /// The attribute-missing nodes to complete.
+    pub test_nodes: Vec<VertexId>,
+}
+
+impl CompletionTask {
+    /// Splits `graph` with `test_fraction` of nodes attribute-missing
+    /// (the paper's protocol hides whole nodes' attribute sets).
+    pub fn split(graph: &AttributedGraph, test_fraction: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&test_fraction));
+        let n = graph.vertex_count();
+        let a = graph.attr_count();
+        let mut order: Vec<VertexId> = graph.vertices().collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        order.shuffle(&mut rng);
+        let n_test = (n as f64 * test_fraction) as usize;
+        let test_nodes: Vec<VertexId> = order[..n_test].to_vec();
+        let mut train_mask = vec![true; n];
+        for &v in &test_nodes {
+            train_mask[v as usize] = false;
+        }
+
+        let mut targets = Matrix::zeros(n, a);
+        for v in graph.vertices() {
+            for &attr in graph.labels(v) {
+                targets.set(v as usize, attr as usize, 1.0);
+            }
+        }
+        let mut x_observed = targets.clone();
+        for &v in &test_nodes {
+            x_observed.row_mut(v as usize).fill(0.0);
+        }
+
+        Self {
+            graph: graph.clone(),
+            x_observed,
+            targets,
+            train_mask,
+            test_nodes,
+        }
+    }
+
+    /// The graph with test-node attributes removed — what CSPM is allowed
+    /// to mine from (no leakage of hidden attributes).
+    ///
+    /// The original attribute table is preserved so that attribute ids in
+    /// the mined model index the same values as in the full graph.
+    pub fn observed_graph(&self) -> AttributedGraph {
+        let g = &self.graph;
+        let labels = g
+            .vertices()
+            .map(|v| {
+                if self.train_mask[v as usize] {
+                    g.labels(v).to_vec()
+                } else {
+                    Vec::new()
+                }
+            })
+            .collect();
+        AttributedGraph::from_edge_list(labels, g.attrs().clone(), g.edges())
+            .expect("edges of a valid graph remain valid")
+    }
+
+    /// Observed attribute-value ids of `v`'s neighbours (Algorithm 5's
+    /// `neighbor_attributes`).
+    pub fn neighbor_attributes(&self, v: VertexId) -> Vec<cspm_graph::AttrId> {
+        let mut out: Vec<cspm_graph::AttrId> = self
+            .graph
+            .neighbors(v)
+            .iter()
+            .filter(|&&u| self.train_mask[u as usize])
+            .flat_map(|&u| self.graph.labels(u).iter().copied())
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Ground-truth attribute ids of a node.
+    pub fn truth(&self, v: VertexId) -> &[cspm_graph::AttrId] {
+        self.graph.labels(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cspm_datasets::{citation_completion, CompletionKind, Scale};
+
+    fn task() -> CompletionTask {
+        let d = citation_completion(CompletionKind::Cora, Scale::Tiny, 3);
+        CompletionTask::split(&d.graph, 0.4, 9)
+    }
+
+    #[test]
+    fn split_hides_test_rows() {
+        let t = task();
+        let n_test = t.test_nodes.len();
+        assert!(n_test > 0 && n_test < t.graph.vertex_count());
+        for &v in &t.test_nodes {
+            assert!(!t.train_mask[v as usize]);
+            assert!(t.x_observed.row(v as usize).iter().all(|&x| x == 0.0));
+            // But the ground truth still knows them.
+            assert!(t.targets.row(v as usize).iter().any(|&x| x == 1.0));
+        }
+    }
+
+    #[test]
+    fn observed_graph_has_no_test_labels() {
+        let t = task();
+        let og = t.observed_graph();
+        for &v in &t.test_nodes {
+            assert!(og.labels(v).is_empty());
+        }
+        // Topology is preserved.
+        assert_eq!(og.edge_count(), t.graph.edge_count());
+        let train_total: usize = t
+            .graph
+            .vertices()
+            .filter(|&v| t.train_mask[v as usize])
+            .map(|v| t.graph.labels(v).len())
+            .sum();
+        assert_eq!(og.label_pair_count(), train_total);
+    }
+
+    #[test]
+    fn neighbor_attributes_only_use_observed() {
+        let t = task();
+        for &v in t.test_nodes.iter().take(5) {
+            let nbrs = t.neighbor_attributes(v);
+            // Every reported attribute must come from an observed neighbour.
+            for a in nbrs {
+                let ok = t
+                    .graph
+                    .neighbors(v)
+                    .iter()
+                    .any(|&u| t.train_mask[u as usize] && t.graph.labels(u).contains(&a));
+                assert!(ok);
+            }
+        }
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let d = citation_completion(CompletionKind::Cora, Scale::Tiny, 3);
+        let a = CompletionTask::split(&d.graph, 0.4, 9);
+        let b = CompletionTask::split(&d.graph, 0.4, 9);
+        assert_eq!(a.test_nodes, b.test_nodes);
+    }
+}

@@ -1,0 +1,98 @@
+//! Ranking metrics: Recall@K and NDCG@K (binary relevance).
+
+use cspm_graph::AttrId;
+
+/// Indices of the `k` largest scores, best first (ties by index).
+pub fn rank_top_k(scores: &[f64], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    idx.truncate(k);
+    idx
+}
+
+/// `|top-K ∩ truth| / |truth|`.
+pub fn recall_at_k(scores: &[f64], truth: &[AttrId], k: usize) -> f64 {
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let top = rank_top_k(scores, k);
+    let hits = top
+        .iter()
+        .filter(|&&i| truth.binary_search(&(i as AttrId)).is_ok())
+        .count();
+    hits as f64 / truth.len() as f64
+}
+
+/// Normalised discounted cumulative gain at `k` with binary relevance:
+/// `DCG@k / IDCG@k`, `DCG = Σ rel_i / log2(i+1)` over rank positions
+/// `i = 1..k`.
+pub fn ndcg_at_k(scores: &[f64], truth: &[AttrId], k: usize) -> f64 {
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let top = rank_top_k(scores, k);
+    let dcg: f64 = top
+        .iter()
+        .enumerate()
+        .filter(|(_, &i)| truth.binary_search(&(i as AttrId)).is_ok())
+        .map(|(rank, _)| 1.0 / ((rank + 2) as f64).log2())
+        .sum();
+    let ideal_hits = truth.len().min(k);
+    let idcg: f64 = (0..ideal_hits).map(|r| 1.0 / ((r + 2) as f64).log2()).sum();
+    dcg / idcg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_k_orders_by_score() {
+        let s = [0.1, 0.9, 0.5, 0.7];
+        assert_eq!(rank_top_k(&s, 2), vec![1, 3]);
+        assert_eq!(rank_top_k(&s, 10).len(), 4);
+    }
+
+    #[test]
+    fn recall_counts_hits() {
+        let s = [0.9, 0.1, 0.8, 0.2];
+        // truth = {0, 3}; top-2 = {0, 2} → one hit of two truths.
+        assert!((recall_at_k(&s, &[0, 3], 2) - 0.5).abs() < 1e-12);
+        assert_eq!(recall_at_k(&s, &[], 2), 0.0);
+        // top-4 recovers everything.
+        assert!((recall_at_k(&s, &[0, 3], 4) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_perfect_ranking_is_one() {
+        let s = [0.9, 0.8, 0.1, 0.0];
+        assert!((ndcg_at_k(&s, &[0, 1], 2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_penalises_late_hits() {
+        // Same truth {0, 3}: hits at ranks 1–2 vs ranks 1 and 4.
+        let early = [0.9, 0.1, 0.05, 0.8]; // 3 ranks second
+        let late = [0.9, 0.5, 0.4, 0.1]; // 3 ranks last
+        let t = [0u32, 3];
+        let e = ndcg_at_k(&early, &t, 4);
+        let l = ndcg_at_k(&late, &t, 4);
+        assert!((e - 1.0).abs() < 1e-12);
+        assert!(e > l, "{e} vs {l}");
+        assert!(l > 0.0);
+    }
+
+    #[test]
+    fn ndcg_is_bounded() {
+        let s = [0.3, 0.1, 0.9];
+        for k in 1..=3 {
+            let v = ndcg_at_k(&s, &[1], k);
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,761 @@
+//! The inverted database representation (§IV-B) with exact
+//! description-length bookkeeping and the merge operation (§IV-E).
+//!
+//! A row is a triple `(leafset SL, coreset Sc, positions)`: the vertices
+//! where every value of `Sc` occurs and every value of `SL` occurs on a
+//! neighbour *jointly* (for merged leafsets, positions are intersections
+//! of the parents' positions, per §IV-E).
+//!
+//! # Description length
+//!
+//! The maintained total is
+//!
+//! ```text
+//! L(M, I) = L(CTc) + Σ_rows [ ST(SL) + Lc(Sc) ] + L(I|M)
+//! L(I|M)  = Σ_j c_j·log2 c_j − Σ_rows fL·log2 fL          (Eq. 8)
+//! ```
+//!
+//! where `ST(SL)` is the standard-code-table cost of materialising the
+//! leafset, `Lc(Sc)` the coreset pointer code, and `c_j = Σ fL` per
+//! coreset. Following the paper's own simplification ("the cost increase
+//! of the new pattern's leafset in the code table … obtained through the
+//! standard code table ST"), the `Code_L` column itself is priced on the
+//! data side only (its per-row length `−log2(fL/fc)` is what Eq. 8 sums),
+//! not double-counted in the model.
+
+use std::collections::HashMap;
+
+use cspm_graph::{AttrId, AttributedGraph, VertexId};
+use cspm_itemset::{krimp, slim, KrimpConfig, SlimConfig, TransactionDb};
+use cspm_mdl::{xlog2x, StandardCodeTable};
+
+use crate::config::{CoresetMode, GainPolicy};
+use crate::positions::{difference_inplace, intersect, intersect_count, union};
+
+/// Index into the coreset registry.
+pub type CoresetId = u32;
+/// Index into the leafset registry.
+pub type LeafsetId = u32;
+
+/// A coreset `Sc`: attribute values plus its `CT_c` entry.
+#[derive(Debug, Clone)]
+pub struct Coreset {
+    /// Sorted attribute values.
+    pub items: Vec<AttrId>,
+    /// `CT_c` code length (pointer cost from `CT_L` rows).
+    pub code_len: f64,
+    /// Vertices where the coreset occurs (its mapping-table positions).
+    pub positions: Vec<VertexId>,
+}
+
+/// Outcome of a merge operation, consumed by CSPM-Partial's update step.
+#[derive(Debug, Clone)]
+pub struct MergeOutcome {
+    /// Id of the (possibly pre-existing) union leafset.
+    pub new_leafset: LeafsetId,
+    /// Whether `x` vanished from every coreset (totally merged).
+    pub x_removed: bool,
+    /// Whether `y` vanished from every coreset.
+    pub y_removed: bool,
+    /// Coresets where rows actually changed.
+    pub touched_coresets: Vec<CoresetId>,
+    /// Exact change of the maintained total DL (negative = improvement).
+    pub dl_delta: f64,
+    /// Whether any row pair was merged at all.
+    pub merged_any: bool,
+}
+
+/// The inverted database `I` plus the model bookkeeping (`CT_c`, `CT_L`).
+#[derive(Debug, Clone)]
+pub struct InvertedDb {
+    st: StandardCodeTable,
+    coresets: Vec<Coreset>,
+    leafsets: Vec<Vec<AttrId>>,
+    leafset_index: HashMap<Vec<AttrId>, LeafsetId>,
+    /// `rows[e]`: leafset → sorted positions, for coreset `e`.
+    rows: Vec<HashMap<LeafsetId, Vec<VertexId>>>,
+    /// Reverse index: coresets in which each leafset currently has a row.
+    leafset_coresets: Vec<Vec<CoresetId>>,
+    /// `c_j`: Σ fL over the rows of each coreset.
+    coreset_freq: Vec<u64>,
+    /// Number of leafsets that still have at least one row.
+    live_leafsets: usize,
+    // --- DL bookkeeping ---
+    term1: f64,
+    term2: f64,
+    material_cost: f64,
+    ctc_cost: f64,
+    gain_policy: GainPolicy,
+}
+
+impl InvertedDb {
+    /// Builds the inverted database from an attributed graph (Step 1 and
+    /// Step 2 of Algorithm 1).
+    pub fn build(g: &AttributedGraph, mode: CoresetMode, gain_policy: GainPolicy) -> Self {
+        let mapping = g.mapping_table();
+        let st = StandardCodeTable::from_counts(
+            (0..g.attr_count()).map(|a| mapping.frequency(a as AttrId) as u64).collect(),
+        );
+        // Step 1: determine the coresets and their occurrences.
+        let coreset_occurrences: Vec<(Vec<AttrId>, f64, Vec<VertexId>)> = match mode {
+            CoresetMode::SingleValue => (0..g.attr_count() as AttrId)
+                .filter(|&a| mapping.frequency(a) > 0)
+                .map(|a| {
+                    (vec![a], st.code_len(a as usize), mapping.positions(a).to_vec())
+                })
+                .collect(),
+            CoresetMode::Krimp { min_support } => {
+                let db = vertex_transactions(g);
+                let res = krimp(&db, KrimpConfig { min_support, prune: true, closed_candidates: true });
+                coresets_from_code_table(&res.code_table, &db)
+            }
+            CoresetMode::Slim => {
+                let db = vertex_transactions(g);
+                let res = slim(&db, SlimConfig::default());
+                coresets_from_code_table(&res.code_table, &db)
+            }
+        };
+
+        let mut this = Self {
+            st,
+            coresets: Vec::new(),
+            leafsets: Vec::new(),
+            leafset_index: HashMap::new(),
+            rows: Vec::new(),
+            leafset_coresets: Vec::new(),
+            coreset_freq: Vec::new(),
+            live_leafsets: 0,
+            term1: 0.0,
+            term2: 0.0,
+            material_cost: 0.0,
+            ctc_cost: 0.0,
+            gain_policy,
+        };
+
+        for (items, code_len, positions) in coreset_occurrences {
+            let st_cost = this.st.set_cost(items.iter().map(|&a| a as usize));
+            this.ctc_cost += st_cost + code_len;
+            this.coresets.push(Coreset { items, code_len, positions });
+            this.rows.push(HashMap::new());
+            this.coreset_freq.push(0);
+        }
+
+        // Step 2: initial rows — one per (coreset occurrence, leaf value).
+        // Gather, per coreset, the positions of each single leaf value.
+        let mut scratch: HashMap<AttrId, Vec<VertexId>> = HashMap::new();
+        for e in 0..this.coresets.len() {
+            scratch.clear();
+            let positions = std::mem::take(&mut this.coresets[e].positions);
+            for &v in &positions {
+                for &u in g.neighbors(v) {
+                    for &leaf in g.labels(u) {
+                        let entry = scratch.entry(leaf).or_default();
+                        if entry.last() != Some(&v) {
+                            entry.push(v);
+                        }
+                    }
+                }
+            }
+            this.coresets[e].positions = positions;
+            let mut leaves: Vec<(AttrId, Vec<VertexId>)> = scratch.drain().collect();
+            leaves.sort_by_key(|(a, _)| *a);
+            for (leaf, pos) in leaves {
+                let lid = this.intern_leafset(vec![leaf]);
+                this.add_row(e as CoresetId, lid, pos);
+            }
+        }
+        this
+    }
+
+    fn intern_leafset(&mut self, items: Vec<AttrId>) -> LeafsetId {
+        if let Some(&id) = self.leafset_index.get(&items) {
+            return id;
+        }
+        let id = self.leafsets.len() as LeafsetId;
+        self.leafsets.push(items.clone());
+        self.leafset_index.insert(items, id);
+        self.leafset_coresets.push(Vec::new());
+        id
+    }
+
+    /// Inserts a brand-new row, updating all bookkeeping. Positions must
+    /// be sorted and non-empty, and the row must not already exist.
+    fn add_row(&mut self, e: CoresetId, lid: LeafsetId, positions: Vec<VertexId>) {
+        debug_assert!(!positions.is_empty());
+        debug_assert!(positions.windows(2).all(|w| w[0] < w[1]));
+        let fl = positions.len() as u64;
+        let fe = self.coreset_freq[e as usize];
+        self.term1 -= xlog2x(fe as f64);
+        self.term1 += xlog2x((fe + fl) as f64);
+        self.coreset_freq[e as usize] = fe + fl;
+        self.term2 += xlog2x(fl as f64);
+        self.material_cost += self.leafset_st_cost(lid) + self.coresets[e as usize].code_len;
+        let existed = self.rows[e as usize].insert(lid, positions).is_some();
+        debug_assert!(!existed, "add_row on existing row");
+        let cs = &mut self.leafset_coresets[lid as usize];
+        if cs.is_empty() {
+            self.live_leafsets += 1;
+        }
+        cs.push(e);
+    }
+
+    fn leafset_st_cost(&self, lid: LeafsetId) -> f64 {
+        self.st
+            .set_cost(self.leafsets[lid as usize].iter().map(|&a| a as usize))
+    }
+
+    /// `L(I|M)` per Eq. 8, in bits.
+    pub fn data_cost(&self) -> f64 {
+        self.term1 - self.term2
+    }
+
+    /// Model cost: `L(CTc)` plus materialisation of all `CT_L` rows.
+    pub fn model_cost(&self) -> f64 {
+        self.ctc_cost + self.material_cost
+    }
+
+    /// Maintained total `L(M, I)`.
+    pub fn total_dl(&self) -> f64 {
+        self.data_cost() + self.model_cost()
+    }
+
+    /// Conditional entropy `H(Y|X)` of the current table (Eq. 7):
+    /// `L(I|M) / s` with `s` the total row frequency.
+    pub fn conditional_entropy(&self) -> f64 {
+        let s: u64 = self.coreset_freq.iter().sum();
+        if s == 0 {
+            0.0
+        } else {
+            self.data_cost() / s as f64
+        }
+    }
+
+    /// The standard code table over attribute values.
+    pub fn st(&self) -> &StandardCodeTable {
+        &self.st
+    }
+
+    /// All coresets (the `CT_c` side).
+    pub fn coresets(&self) -> &[Coreset] {
+        &self.coresets
+    }
+
+    /// Number of coresets `|Sc^M|` (Table II statistic).
+    pub fn coreset_count(&self) -> usize {
+        self.coresets.len()
+    }
+
+    /// Attribute values of a leafset.
+    pub fn leafset_items(&self, lid: LeafsetId) -> &[AttrId] {
+        &self.leafsets[lid as usize]
+    }
+
+    /// Coresets in which `lid` currently has rows.
+    pub fn leafset_coresets(&self, lid: LeafsetId) -> &[CoresetId] {
+        &self.leafset_coresets[lid as usize]
+    }
+
+    /// Whether the leafset still has at least one row.
+    pub fn is_live(&self, lid: LeafsetId) -> bool {
+        !self.leafset_coresets[lid as usize].is_empty()
+    }
+
+    /// Number of live leafsets.
+    pub fn live_leafset_count(&self) -> usize {
+        self.live_leafsets
+    }
+
+    /// Ids of all live leafsets.
+    pub fn live_leafsets(&self) -> Vec<LeafsetId> {
+        (0..self.leafsets.len() as LeafsetId)
+            .filter(|&l| self.is_live(l))
+            .collect()
+    }
+
+    /// Total number of rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.iter().map(HashMap::len).sum()
+    }
+
+    /// Positions of row `(e, lid)`, if present.
+    pub fn row_positions(&self, e: CoresetId, lid: LeafsetId) -> Option<&[VertexId]> {
+        self.rows[e as usize].get(&lid).map(Vec::as_slice)
+    }
+
+    /// `c_j` of a coreset: Σ fL of its rows.
+    pub fn coreset_freq(&self, e: CoresetId) -> u64 {
+        self.coreset_freq[e as usize]
+    }
+
+    /// Iterates all rows as `(coreset, leafset, positions)`.
+    pub fn iter_rows(&self) -> impl Iterator<Item = (CoresetId, LeafsetId, &[VertexId])> {
+        self.rows.iter().enumerate().flat_map(|(e, m)| {
+            m.iter()
+                .map(move |(&l, p)| (e as CoresetId, l, p.as_slice()))
+        })
+    }
+
+    /// Whether one leafset's values are a subset of the other's. Such
+    /// pairs are never merge candidates: their union *is* the superset,
+    /// so no new pattern would be created.
+    pub fn is_nested_pair(&self, x: LeafsetId, y: LeafsetId) -> bool {
+        let (a, b) = (&self.leafsets[x as usize], &self.leafsets[y as usize]);
+        let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+        small.iter().all(|i| large.binary_search(i).is_ok())
+    }
+
+    /// Gain `ΔL` of merging leafsets `x` and `y` (Eq. 9 with the case
+    /// analysis of Eq. 10–15, all cases unified by the `0·log 0 = 0`
+    /// convention), minus the model-cost delta under
+    /// [`GainPolicy::Total`]. Positive gain = merging reduces the DL.
+    ///
+    /// The paper's formulas assume the union leafset produces a *new*
+    /// row; when a row for `x ∪ y` already exists under a shared coreset
+    /// (possible after earlier merges) the common positions fold into it
+    /// instead, and this function computes the exact delta for that case
+    /// too — so the returned gain always equals the true DL reduction
+    /// and accepted merges are guaranteed to decrease the DL.
+    ///
+    /// Returns 0 for nested pairs and for pairs that never co-occur.
+    pub fn pair_gain(&self, x: LeafsetId, y: LeafsetId) -> f64 {
+        if x == y || self.is_nested_pair(x, y) {
+            return 0.0;
+        }
+        let items = union_items(&self.leafsets[x as usize], &self.leafsets[y as usize]);
+        let union_id = self.leafset_index.get(&items).copied();
+        let union_st_cost = if self.gain_policy == GainPolicy::Total {
+            self.st.set_cost(items.iter().map(|&a| a as usize))
+        } else {
+            0.0
+        };
+        let (mut p1, mut p2) = (0.0f64, 0.0f64);
+        let mut model_delta = 0.0f64;
+        let mut merged_any = false;
+        for (&e, px) in self.shared_rows(x, y) {
+            let py = match self.rows[e as usize].get(&y) {
+                Some(p) => p,
+                None => continue,
+            };
+            let existing = union_id.and_then(|n| self.rows[e as usize].get(&n));
+            let (xy, grown) = match existing {
+                // Collision path: need the union row's actual growth.
+                Some(pn) => {
+                    let common = intersect(px, py);
+                    if common.is_empty() {
+                        continue;
+                    }
+                    let merged_len = pn.len() + common.len() - intersect_count(pn, &common);
+                    // Union-row term2 change replaces the fresh-row term.
+                    p2 += xlog2x(pn.len() as f64) - xlog2x(merged_len as f64)
+                        + xlog2x(common.len() as f64);
+                    (common.len() as f64, (merged_len - pn.len()) as f64)
+                }
+                None => {
+                    let xy = intersect_count(px, py) as f64;
+                    if xy == 0.0 {
+                        continue;
+                    }
+                    (xy, xy)
+                }
+            };
+            merged_any = true;
+            let (xe, ye) = (px.len() as f64, py.len() as f64);
+            let fe = self.coreset_freq[e as usize] as f64;
+            // Eq. 10 (with the exact post-merge coreset frequency).
+            p1 += xlog2x(fe) - xlog2x(fe - 2.0 * xy + grown);
+            // Eq. 12–15 unified: vanished rows contribute xlog2x(0) = 0.
+            p2 += xlog2x(xe) + xlog2x(ye)
+                - (xlog2x(xe - xy) + xlog2x(ye - xy) + xlog2x(xy));
+            if self.gain_policy == GainPolicy::Total {
+                let code_e = self.coresets[e as usize].code_len;
+                if existing.is_none() {
+                    model_delta += union_st_cost + code_e;
+                }
+                if xy == xe {
+                    model_delta -= self.leafset_st_cost(x) + code_e;
+                }
+                if xy == ye {
+                    model_delta -= self.leafset_st_cost(y) + code_e;
+                }
+            }
+        }
+        if !merged_any {
+            return 0.0;
+        }
+        let data_gain = p1 - p2;
+        match self.gain_policy {
+            GainPolicy::DataOnly => data_gain,
+            GainPolicy::Total => data_gain - model_delta,
+        }
+    }
+
+    /// Iterates the rows of `x` restricted to coresets shared with `y`.
+    fn shared_rows(&self, x: LeafsetId, y: LeafsetId) -> impl Iterator<Item = (&CoresetId, &Vec<VertexId>)> {
+        let ys = &self.leafset_coresets[y as usize];
+        self.leafset_coresets[x as usize]
+            .iter()
+            .filter(move |e| ys.contains(e))
+            .map(move |e| (e, &self.rows[*e as usize][&x]))
+    }
+
+    /// Merges leafsets `x` and `y` (§IV-E): at every shared coreset the
+    /// common positions move to a row for `x ∪ y`; empty parents are
+    /// dropped. All DL bookkeeping is updated **exactly** (including the
+    /// rare case where the union row already exists).
+    pub fn merge(&mut self, x: LeafsetId, y: LeafsetId) -> MergeOutcome {
+        assert_ne!(x, y, "cannot merge a leafset with itself");
+        let dl_before = self.total_dl();
+        let n = self.intern_leafset(union_items(
+            &self.leafsets[x as usize],
+            &self.leafsets[y as usize],
+        ));
+        let mut touched = Vec::new();
+        let shared: Vec<CoresetId> = self.leafset_coresets[x as usize]
+            .iter()
+            .copied()
+            .filter(|e| self.leafset_coresets[y as usize].contains(e))
+            .collect();
+        for e in shared {
+            let common = {
+                let px = &self.rows[e as usize][&x];
+                let py = &self.rows[e as usize][&y];
+                intersect(px, py)
+            };
+            if common.is_empty() {
+                continue;
+            }
+            touched.push(e);
+            let mut fe = self.coreset_freq[e as usize];
+            self.term1 -= xlog2x(fe as f64);
+            // Shrink (or drop) the parents. Nested unions (n == x or
+            // n == y) never reach here: `pair_gain` filters them and the
+            // algorithms skip zero-gain pairs, but guard anyway.
+            for parent in [x, y] {
+                if parent == n {
+                    continue;
+                }
+                let row = self.rows[e as usize].get_mut(&parent).expect("shared row");
+                let old = row.len() as u64;
+                self.term2 -= xlog2x(old as f64);
+                difference_inplace(row, &common);
+                let new = row.len() as u64;
+                fe = fe - old + new;
+                if new == 0 {
+                    self.rows[e as usize].remove(&parent);
+                    self.material_cost -=
+                        self.leafset_st_cost(parent) + self.coresets[e as usize].code_len;
+                    self.unlink(parent, e);
+                } else {
+                    self.term2 += xlog2x(new as f64);
+                }
+            }
+            // Grow (or create) the union row.
+            match self.rows[e as usize].get_mut(&n) {
+                Some(row) => {
+                    let old = row.len() as u64;
+                    self.term2 -= xlog2x(old as f64);
+                    let merged = union(row, &common);
+                    let new = merged.len() as u64;
+                    *row = merged;
+                    fe = fe - old + new;
+                    self.term2 += xlog2x(new as f64);
+                }
+                None => {
+                    let fl = common.len() as u64;
+                    self.term2 += xlog2x(fl as f64);
+                    self.material_cost +=
+                        self.leafset_st_cost(n) + self.coresets[e as usize].code_len;
+                    self.rows[e as usize].insert(n, common);
+                    fe += fl;
+                    let cs = &mut self.leafset_coresets[n as usize];
+                    if cs.is_empty() {
+                        self.live_leafsets += 1;
+                    }
+                    cs.push(e);
+                }
+            }
+            self.term1 += xlog2x(fe as f64);
+            self.coreset_freq[e as usize] = fe;
+        }
+        MergeOutcome {
+            new_leafset: n,
+            x_removed: !self.is_live(x),
+            y_removed: !self.is_live(y),
+            merged_any: !touched.is_empty(),
+            touched_coresets: touched,
+            dl_delta: self.total_dl() - dl_before,
+        }
+    }
+
+    fn unlink(&mut self, lid: LeafsetId, e: CoresetId) {
+        let cs = &mut self.leafset_coresets[lid as usize];
+        if let Some(pos) = cs.iter().position(|&c| c == e) {
+            cs.swap_remove(pos);
+        }
+        if cs.is_empty() {
+            self.live_leafsets -= 1;
+        }
+    }
+
+    /// All unordered candidate pairs of live leafsets sharing at least
+    /// one coreset (the only pairs that can have non-zero gain, §V).
+    pub fn sharing_pairs(&self) -> Vec<(LeafsetId, LeafsetId)> {
+        let mut pairs = std::collections::BTreeSet::new();
+        for m in &self.rows {
+            let mut ls: Vec<LeafsetId> = m.keys().copied().collect();
+            ls.sort_unstable();
+            for i in 0..ls.len() {
+                for j in i + 1..ls.len() {
+                    pairs.insert((ls[i], ls[j]));
+                }
+            }
+        }
+        pairs.into_iter().collect()
+    }
+}
+
+fn union_items(a: &[AttrId], b: &[AttrId]) -> Vec<AttrId> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    out.extend_from_slice(a);
+    out.extend_from_slice(b);
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// The vertex→attribute transaction table used for multi-value coresets.
+fn vertex_transactions(g: &AttributedGraph) -> TransactionDb {
+    TransactionDb::with_item_universe(
+        g.vertices().map(|v| g.labels(v).to_vec()).collect(),
+        g.attr_count(),
+    )
+}
+
+/// Converts a Krimp/SLIM code table into coreset occurrences: each
+/// pattern used in the cover of a vertex's attribute set becomes a
+/// coreset occurrence at that vertex; its `CT_c` code length is the
+/// Shannon code of its usage.
+fn coresets_from_code_table(
+    ct: &cspm_itemset::CodeTable,
+    db: &TransactionDb,
+) -> Vec<(Vec<AttrId>, f64, Vec<VertexId>)> {
+    let cover = ct.cover(db);
+    let mut positions: Vec<Vec<VertexId>> = vec![Vec::new(); ct.len()];
+    for (v, used) in cover.covers.iter().enumerate() {
+        for &p in used {
+            positions[p as usize].push(v as VertexId);
+        }
+    }
+    let s = cover.total_usage as f64;
+    let mut out = Vec::new();
+    for (i, p) in ct.patterns().iter().enumerate() {
+        if cover.usages[i] == 0 {
+            continue;
+        }
+        let code = -((cover.usages[i] as f64 / s).log2());
+        out.push((p.items().to_vec(), code, std::mem::take(&mut positions[i])));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cspm_graph::fixtures::paper_example;
+
+    fn build_paper_db() -> (InvertedDb, cspm_graph::fixtures::PaperAttrs) {
+        let (g, a) = paper_example();
+        (InvertedDb::build(&g, CoresetMode::SingleValue, GainPolicy::DataOnly), a)
+    }
+
+    /// Finds the leafset id of a singleton leaf value.
+    fn lid(db: &InvertedDb, a: AttrId) -> LeafsetId {
+        db.live_leafsets()
+            .into_iter()
+            .find(|&l| db.leafset_items(l) == [a])
+            .expect("singleton leafset exists")
+    }
+
+    fn cid(db: &InvertedDb, a: AttrId) -> CoresetId {
+        db.coresets()
+            .iter()
+            .position(|c| c.items == [a])
+            .expect("coreset exists") as CoresetId
+    }
+
+    #[test]
+    fn initial_rows_match_fig2b() {
+        // From Fig. 2(b): the record ({a}, {c}, {v2, v3}) exists, etc.
+        let (db, at) = build_paper_db();
+        assert_eq!(db.coreset_count(), 3);
+        let (ca, cb, cc) = (cid(&db, at.a), cid(&db, at.b), cid(&db, at.c));
+        let (la, lb, lc) = (lid(&db, at.a), lid(&db, at.b), lid(&db, at.c));
+        // Coreset {c} has leaf {a} at v2, v3 (blue record of Fig. 2(b)).
+        assert_eq!(db.row_positions(cc, la), Some(&[1u32, 2][..]));
+        // Coreset {a}: leaf {a} at v1 (nbr v2), v2 (nbr v1), v5 — wait v5's
+        // nbrs are v3{c}, v4{b}: no a. v1 nbrs v2{a,c}: yes. v2 nbr v1{a}.
+        assert_eq!(db.row_positions(ca, la), Some(&[0u32, 1][..]));
+        // Coreset {a}: leaf {b} at v1 (nbr v4) and v5 (nbr v4).
+        assert_eq!(db.row_positions(ca, lb), Some(&[0u32, 4][..]));
+        // Coreset {a}: leaf {c} at v1 (nbr v2/v3) and v5 (nbr v3).
+        assert_eq!(db.row_positions(ca, lc), Some(&[0u32, 4][..]));
+        // Coreset {b}: leaf {b} at v4 (nbr v5{a,b}) and v5 (nbr v4{b}).
+        assert_eq!(db.row_positions(cb, lb), Some(&[3u32, 4][..]));
+        // Coreset {b}: leaf {c} at v5 only (nbr v3{c}).
+        assert_eq!(db.row_positions(cb, lc), Some(&[4u32][..]));
+    }
+
+    #[test]
+    fn coreset_freq_is_row_sum() {
+        let (db, at) = build_paper_db();
+        for e in 0..db.coreset_count() as CoresetId {
+            let sum: u64 = db
+                .iter_rows()
+                .filter(|&(c, _, _)| c == e)
+                .map(|(_, _, p)| p.len() as u64)
+                .sum();
+            assert_eq!(db.coreset_freq(e), sum);
+        }
+        let _ = at;
+    }
+
+    #[test]
+    fn paper_merge_bc_fig4() {
+        // §IV-E worked example: merging leafsets {b} and {c}.
+        let (mut db, at) = build_paper_db();
+        let (lb, lc) = (lid(&db, at.b), lid(&db, at.c));
+        let (ca, cb) = (cid(&db, at.a), cid(&db, at.b));
+        let gain = db.pair_gain(lb, lc);
+        let data_before = db.data_cost();
+        let outcome = db.merge(lb, lc);
+        // Coreset {a}: both rows were {v1, v5} — totally merged (case 2).
+        let n = outcome.new_leafset;
+        assert_eq!(db.row_positions(ca, n), Some(&[0u32, 4][..]));
+        assert_eq!(db.row_positions(ca, lb), None);
+        assert_eq!(db.row_positions(ca, lc), None);
+        // Coreset {b}: common position {v5}; ({b},{c}) disappears, the
+        // row for leafset {b} keeps {v4} (case 3) — Fig. 4.
+        assert_eq!(db.row_positions(cb, n), Some(&[4u32][..]));
+        assert_eq!(db.row_positions(cb, lb), Some(&[3u32][..]));
+        assert_eq!(db.row_positions(cb, lc), None);
+        // {c} no longer appears under any coreset; {b} survives at {b}
+        // and at {c} (v3's neighbour v5 carries b).
+        assert!(outcome.y_removed || outcome.x_removed);
+        assert!(db.is_live(n));
+        // The data-only gain equals the exact L(I|M) reduction (Eq. 9).
+        let data_delta = db.data_cost() - data_before;
+        assert!((gain + data_delta).abs() < 1e-9,
+            "gain {gain} vs data delta {data_delta}");
+    }
+
+    #[test]
+    fn data_only_gain_matches_exact_data_delta() {
+        let (db, _) = build_paper_db();
+        for &(x, y) in db.sharing_pairs().iter() {
+            if db.is_nested_pair(x, y) {
+                continue;
+            }
+            let gain = db.pair_gain(x, y);
+            let mut clone = db.clone();
+            let out = clone.merge(x, y);
+            if out.merged_any {
+                let delta = clone.data_cost() - db.data_cost();
+                assert!(
+                    (gain + delta).abs() < 1e-9,
+                    "pair ({x},{y}): gain {gain} but data delta {delta}"
+                );
+            } else {
+                assert_eq!(gain, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn total_gain_matches_exact_total_delta() {
+        let (g, _) = paper_example();
+        let db = InvertedDb::build(&g, CoresetMode::SingleValue, GainPolicy::Total);
+        for &(x, y) in db.sharing_pairs().iter() {
+            if db.is_nested_pair(x, y) {
+                continue;
+            }
+            let gain = db.pair_gain(x, y);
+            let mut clone = db.clone();
+            let out = clone.merge(x, y);
+            if out.merged_any {
+                assert!(
+                    (gain + out.dl_delta).abs() < 1e-9,
+                    "pair ({x},{y}): total gain {gain} but dl_delta {}",
+                    out.dl_delta
+                );
+            } else {
+                assert_eq!(gain, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn data_cost_matches_eq8_direct() {
+        let (db, _) = build_paper_db();
+        // Direct evaluation of Eq. 8 from the rows.
+        let mut direct = 0.0;
+        for e in 0..db.coreset_count() as CoresetId {
+            let cj = db.coreset_freq(e) as f64;
+            direct += xlog2x(cj);
+        }
+        for (_, _, p) in db.iter_rows() {
+            direct -= xlog2x(p.len() as f64);
+        }
+        assert!((db.data_cost() - direct).abs() < 1e-9);
+        // And it equals s · H(Y|X) (Eq. 8's first line).
+        let s: f64 = (0..db.coreset_count() as CoresetId)
+            .map(|e| db.coreset_freq(e) as f64)
+            .sum();
+        assert!((db.data_cost() - s * db.conditional_entropy()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nested_pairs_are_never_candidates() {
+        let (mut db, at) = build_paper_db();
+        let (lb, lc) = (lid(&db, at.b), lid(&db, at.c));
+        let out = db.merge(lb, lc);
+        let n = out.new_leafset;
+        // {b} ⊂ {b, c}: nested, gain must be 0.
+        assert!(db.is_nested_pair(lb, n));
+        assert_eq!(db.pair_gain(lb, n), 0.0);
+    }
+
+    #[test]
+    fn live_leafset_count_tracks_rows() {
+        let (mut db, at) = build_paper_db();
+        let before = db.live_leafset_count();
+        assert_eq!(before, 3); // {a}, {b}, {c}
+        let out = db.merge(lid(&db, at.b), lid(&db, at.c));
+        // {c} died, {b,c} was born, {b} survived: still 3 live.
+        assert!(out.y_removed ^ out.x_removed);
+        assert_eq!(db.live_leafset_count(), 3);
+        assert_eq!(db.live_leafsets().len(), 3);
+    }
+
+    #[test]
+    fn sharing_pairs_on_paper_example() {
+        let (db, _) = build_paper_db();
+        // All three singleton leafsets co-reside under coreset {a}.
+        let pairs = db.sharing_pairs();
+        assert_eq!(pairs.len(), 3);
+    }
+
+    #[test]
+    fn multi_value_coresets_via_slim() {
+        let (g, _) = paper_example();
+        let db = InvertedDb::build(&g, CoresetMode::Slim, GainPolicy::Total);
+        // Every vertex's attributes are covered, so coresets exist and
+        // every coreset has rows.
+        assert!(db.coreset_count() >= 3);
+        assert!(db.row_count() > 0);
+        for e in 0..db.coreset_count() as CoresetId {
+            let has_rows = db.iter_rows().any(|(c, _, _)| c == e);
+            // Coresets at leaf-less vertices may have no rows; tolerated.
+            let _ = has_rows;
+        }
+    }
+}

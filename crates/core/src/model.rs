@@ -1,0 +1,168 @@
+//! The mined model: ranked a-stars with their code lengths.
+
+use cspm_graph::{AStar, AttrTable, VertexId};
+
+use crate::inverted::{CoresetId, InvertedDb, LeafsetId};
+
+/// One a-star in the final model `M`, with everything needed to rank and
+/// apply it.
+#[derive(Debug, Clone)]
+pub struct MinedAStar {
+    /// The pattern itself.
+    pub astar: AStar,
+    /// Source coreset id in the inverted database.
+    pub coreset: CoresetId,
+    /// Source leafset id in the inverted database.
+    pub leafset: LeafsetId,
+    /// Row frequency `fL`.
+    pub frequency: u64,
+    /// Coreset frequency `fc` (Σ fL over the coreset's rows).
+    pub coreset_freq: u64,
+    /// Code length `L(Scode) = L(Code_c) + L(Code_L)` (Eq. 4), with
+    /// `L(Code_L) = −log2(fL/fc)` (Eq. 6).
+    pub code_len: f64,
+    /// Vertices where the a-star occurs.
+    pub positions: Vec<VertexId>,
+}
+
+impl MinedAStar {
+    /// The conditional code length `L(Code_L)` alone.
+    pub fn leaf_code_len(&self) -> f64 {
+        -((self.frequency as f64 / self.coreset_freq as f64).log2())
+    }
+}
+
+/// The output of CSPM: a-stars ordered by ascending code length
+/// ("an a-star with a shorter code length indicates that it is more
+/// informative", §IV-A).
+#[derive(Debug, Clone, Default)]
+pub struct MinedModel {
+    astars: Vec<MinedAStar>,
+}
+
+impl MinedModel {
+    /// Extracts the model from a converged inverted database.
+    pub fn from_db(db: &InvertedDb) -> Self {
+        let mut astars = Vec::with_capacity(db.row_count());
+        for (e, l, positions) in db.iter_rows() {
+            let coreset = &db.coresets()[e as usize];
+            let frequency = positions.len() as u64;
+            let coreset_freq = db.coreset_freq(e);
+            let leaf_code = -((frequency as f64 / coreset_freq as f64).log2());
+            astars.push(MinedAStar {
+                astar: AStar::new(coreset.items.clone(), db.leafset_items(l).to_vec()),
+                coreset: e,
+                leafset: l,
+                frequency,
+                coreset_freq,
+                code_len: coreset.code_len + leaf_code,
+                positions: positions.to_vec(),
+            });
+        }
+        astars.sort_by(|a, b| {
+            a.code_len
+                .partial_cmp(&b.code_len)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.astar.cmp(&b.astar))
+        });
+        Self { astars }
+    }
+
+    /// All a-stars, most informative (shortest code) first.
+    pub fn astars(&self) -> &[MinedAStar] {
+        &self.astars
+    }
+
+    /// Number of a-stars in the model.
+    pub fn len(&self) -> usize {
+        self.astars.len()
+    }
+
+    /// Whether the model is empty.
+    pub fn is_empty(&self) -> bool {
+        self.astars.is_empty()
+    }
+
+    /// A-stars whose leafset has at least `min_leaves` values — the
+    /// summarising patterns created by merges.
+    pub fn non_trivial(&self, min_leaves: usize) -> impl Iterator<Item = &MinedAStar> {
+        self.astars
+            .iter()
+            .filter(move |m| m.astar.leafset().len() >= min_leaves)
+    }
+
+    /// Pretty-prints the top `k` patterns with attribute names.
+    pub fn format_top(&self, attrs: &AttrTable, k: usize) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (rank, m) in self.astars.iter().take(k).enumerate() {
+            let _ = writeln!(
+                out,
+                "{:>3}. {}  fL={} fc={} L={:.3} bits",
+                rank + 1,
+                m.astar.display(attrs),
+                m.frequency,
+                m.coreset_freq,
+                m.code_len
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CoresetMode, GainPolicy};
+    use cspm_graph::fixtures::paper_example;
+
+    #[test]
+    fn model_extraction_is_ranked() {
+        let (g, _) = paper_example();
+        let db = InvertedDb::build(&g, CoresetMode::SingleValue, GainPolicy::Total);
+        let model = MinedModel::from_db(&db);
+        assert_eq!(model.len(), db.row_count());
+        assert!(!model.is_empty());
+        for w in model.astars().windows(2) {
+            assert!(w[0].code_len <= w[1].code_len + 1e-12);
+        }
+    }
+
+    #[test]
+    fn code_lengths_decompose() {
+        let (g, _) = paper_example();
+        let db = InvertedDb::build(&g, CoresetMode::SingleValue, GainPolicy::Total);
+        let model = MinedModel::from_db(&db);
+        for m in model.astars() {
+            let coreset_code = db.coresets()[m.coreset as usize].code_len;
+            assert!((m.code_len - (coreset_code + m.leaf_code_len())).abs() < 1e-12);
+            assert!(m.frequency <= m.coreset_freq);
+        }
+    }
+
+    #[test]
+    fn patterns_actually_occur_in_graph() {
+        let (g, _) = paper_example();
+        let db = InvertedDb::build(&g, CoresetMode::SingleValue, GainPolicy::Total);
+        let model = MinedModel::from_db(&db);
+        for m in model.astars() {
+            for &v in &m.positions {
+                assert!(
+                    m.astar.matches_at(&g, v),
+                    "a-star {:?} recorded at vertex {v} but does not match",
+                    m.astar
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn format_top_shows_k_lines() {
+        let (g, _) = paper_example();
+        let db = InvertedDb::build(&g, CoresetMode::SingleValue, GainPolicy::Total);
+        let model = MinedModel::from_db(&db);
+        let text = model.format_top(g.attrs(), 3);
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.contains("bits"));
+    }
+}

@@ -1,0 +1,121 @@
+//! Sorted position-set operations.
+//!
+//! Inverted-database rows store their occurrence positions as sorted
+//! `Vec<VertexId>`; gains need intersection *counts*, merges need exact
+//! intersections, differences, and unions.
+
+use cspm_graph::VertexId;
+
+/// `|a ∩ b|` for sorted slices.
+pub fn intersect_count(a: &[VertexId], b: &[VertexId]) -> usize {
+    let (mut i, mut j, mut n) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+/// `a ∩ b` for sorted slices.
+pub fn intersect(a: &[VertexId], b: &[VertexId]) -> Vec<VertexId> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Removes every element of sorted `b` from sorted `a`, in place.
+pub fn difference_inplace(a: &mut Vec<VertexId>, b: &[VertexId]) {
+    if b.is_empty() {
+        return;
+    }
+    let mut j = 0;
+    a.retain(|&x| {
+        while j < b.len() && b[j] < x {
+            j += 1;
+        }
+        !(j < b.len() && b[j] == x)
+    });
+}
+
+/// `a ∪ b` for sorted slices.
+pub fn union(a: &[VertexId], b: &[VertexId]) -> Vec<VertexId> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intersect_and_count_agree() {
+        let a = vec![1, 3, 5, 7, 9];
+        let b = vec![3, 4, 5, 9, 10];
+        assert_eq!(intersect(&a, &b), vec![3, 5, 9]);
+        assert_eq!(intersect_count(&a, &b), 3);
+        assert_eq!(intersect_count(&a, &[]), 0);
+    }
+
+    #[test]
+    fn difference_removes_common() {
+        let mut a = vec![1, 2, 3, 4, 5];
+        difference_inplace(&mut a, &[2, 4, 6]);
+        assert_eq!(a, vec![1, 3, 5]);
+        difference_inplace(&mut a, &[]);
+        assert_eq!(a, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn union_merges_without_duplicates() {
+        assert_eq!(union(&[1, 3], &[2, 3, 4]), vec![1, 2, 3, 4]);
+        assert_eq!(union(&[], &[7]), vec![7]);
+    }
+
+    #[test]
+    fn set_identities() {
+        let a = vec![0, 2, 4, 6];
+        let b = vec![1, 2, 3, 4];
+        let i = intersect(&a, &b);
+        let u = union(&a, &b);
+        // |A| + |B| = |A ∪ B| + |A ∩ B|
+        assert_eq!(a.len() + b.len(), u.len() + i.len());
+    }
+}

@@ -1,0 +1,178 @@
+//! DBLP-like and DBLP-Trend-like citation networks (Table II rows 1–2).
+//!
+//! Researchers (vertices) co-author (edges) within research areas
+//! (communities); attribute values are the venues they published in
+//! (DBLP) or venue+trend indicators such as `ICDE+` (DBLP-Trend). The
+//! key property the experiments rely on — venues of co-authors are
+//! correlated because they share a research area — is planted explicitly.
+
+use cspm_graph::GraphBuilder;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::util::{community_edges, ensure_connected, zipf};
+use crate::{Dataset, Scale};
+
+/// Venue pools per research area, mirroring the paper's §VI-B examples
+/// (PODS/ICDM/EDBT cluster together, etc.). Further venues are synthetic.
+const SEED_VENUES: &[&[&str]] = &[
+    &["ICDM", "EDBT", "PODS", "KDD", "PAKDD", "DMKD", "SAC", "ICDE"],
+    &["NIPS", "ICML", "AAAI", "IJCAI", "COLT"],
+    &["SIGCOMM", "INFOCOM", "NSDI", "IMC"],
+    &["SOSP", "OSDI", "ATC", "EuroSys"],
+];
+
+fn scale_params(scale: Scale) -> (usize, usize, usize, usize) {
+    // (nodes, edges, n_venues, n_areas)
+    match scale {
+        Scale::Paper => (2723, 3464, 127, 12),
+        Scale::Small => (400, 560, 48, 6),
+        Scale::Tiny => (60, 90, 16, 4),
+    }
+}
+
+fn venue_names(n_venues: usize, n_areas: usize) -> Vec<Vec<String>> {
+    let mut areas: Vec<Vec<String>> = vec![Vec::new(); n_areas];
+    let mut count = 0usize;
+    // Seed with real venue names first, then synthesise the rest.
+    for (i, pool) in SEED_VENUES.iter().enumerate().take(n_areas) {
+        for v in pool.iter() {
+            if count >= n_venues {
+                break;
+            }
+            areas[i].push((*v).to_owned());
+            count += 1;
+        }
+    }
+    let mut area = 0usize;
+    while count < n_venues {
+        areas[area % n_areas].push(format!("VEN{count}"));
+        count += 1;
+        area += 1;
+    }
+    areas.retain(|a| !a.is_empty());
+    areas
+}
+
+fn build_citation(
+    scale: Scale,
+    seed: u64,
+    decorate: impl Fn(&mut StdRng, &str) -> Vec<String>,
+) -> cspm_graph::AttributedGraph {
+    let (n, m, n_venues, n_areas) = scale_params(scale);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let areas = venue_names(n_venues, n_areas);
+    let mut b = GraphBuilder::with_capacity(n);
+    let mut communities: Vec<Vec<u32>> = vec![Vec::new(); areas.len()];
+    for v in 0..n {
+        let area = rng.gen_range(0..areas.len());
+        let k = 1 + zipf(&mut rng, 3, 1.2); // 1–3 venues per researcher
+        let mut values: Vec<String> = Vec::new();
+        for _ in 0..k {
+            let venue = &areas[area][zipf(&mut rng, areas[area].len(), 1.1)];
+            values.extend(decorate(&mut rng, venue));
+        }
+        // Occasional cross-area publication (noise).
+        if rng.gen::<f64>() < 0.08 {
+            let other = rng.gen_range(0..areas.len());
+            let venue = &areas[other][zipf(&mut rng, areas[other].len(), 1.1)];
+            values.extend(decorate(&mut rng, venue));
+        }
+        let id = b.add_vertex(values.iter());
+        communities[area].push(id);
+        let _ = v;
+    }
+    // Backbone: chain every community internally, then link consecutive
+    // communities — exactly n−1 edges, connected by construction, and
+    // homophilous (chains stay inside one research area). The remaining
+    // edge budget goes to community-biased random co-authorships.
+    assert!(m >= n, "edge budget must cover the backbone");
+    let nonempty: Vec<&Vec<u32>> = communities.iter().filter(|c| !c.is_empty()).collect();
+    for c in &nonempty {
+        for w in c.windows(2) {
+            b.add_edge(w[0], w[1]).unwrap();
+        }
+    }
+    for w in nonempty.windows(2) {
+        b.add_edge(w[0][0], w[1][0]).unwrap();
+    }
+    let backbone = b.edge_count();
+    community_edges(&mut b, &mut rng, n, m - backbone, 0.88, &communities);
+    ensure_connected(b, &mut rng)
+}
+
+/// DBLP-like co-authorship network: attribute values are venues.
+pub fn dblp_like(scale: Scale, seed: u64) -> Dataset {
+    let graph = build_citation(scale, seed, |_, venue| vec![venue.to_owned()]);
+    Dataset { name: "DBLP(synthetic)", category: "Citation", graph }
+}
+
+/// DBLP-Trend-like network: attribute values are venue+trend indicators
+/// (`ICDE+`, `ICDE-`, `ICDE=`), with trends correlated inside an area so
+/// that trend patterns like Fig. 6(b) arise.
+pub fn dblp_trend_like(scale: Scale, seed: u64) -> Dataset {
+    let graph = build_citation(scale, seed, |rng, venue| {
+        // Bias towards '=' with fewer +/-: publication counts are stable
+        // for most researchers year over year.
+        let r = rng.gen::<f64>();
+        let trend = if r < 0.5 { "=" } else if r < 0.8 { "+" } else { "-" };
+        vec![format!("{venue}{trend}")]
+    });
+    Dataset { name: "DBLP-Trend(synthetic)", category: "Citation", graph }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dblp_paper_scale_matches_table2() {
+        let d = dblp_like(Scale::Paper, 1);
+        let (n, m, a) = d.statistics();
+        assert_eq!(n, 2723);
+        assert_eq!(m, 3464);
+        assert!(a <= 127 && a > 100, "attrs {a}");
+    }
+
+    #[test]
+    fn trend_variant_has_larger_attribute_universe() {
+        let plain = dblp_like(Scale::Small, 5);
+        let trend = dblp_trend_like(Scale::Small, 5);
+        assert!(trend.graph.attr_count() > plain.graph.attr_count());
+        // Attribute names carry trend suffixes.
+        let has_trend = trend
+            .graph
+            .attrs()
+            .iter()
+            .any(|(_, n)| n.ends_with('+') || n.ends_with('-') || n.ends_with('='));
+        assert!(has_trend);
+    }
+
+    #[test]
+    fn neighbours_share_venues_more_than_random() {
+        // The homophily the completion task depends on: adjacent vertices
+        // share attribute values far more often than random pairs.
+        let d = dblp_like(Scale::Small, 3);
+        let g = &d.graph;
+        let share = |u: u32, v: u32| {
+            g.labels(u).iter().any(|a| g.labels(v).contains(a))
+        };
+        let mut adjacent_share = 0usize;
+        let mut total = 0usize;
+        for (u, v) in g.edges() {
+            total += 1;
+            adjacent_share += usize::from(share(u, v));
+        }
+        let mut random_share = 0usize;
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..total {
+            let u = rng.gen_range(0..g.vertex_count()) as u32;
+            let v = rng.gen_range(0..g.vertex_count()) as u32;
+            random_share += usize::from(u != v && share(u, v));
+        }
+        assert!(
+            adjacent_share as f64 > random_share as f64 * 1.5,
+            "adjacent {adjacent_share} vs random {random_share} of {total}"
+        );
+    }
+}

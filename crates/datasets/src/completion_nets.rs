@@ -1,0 +1,148 @@
+//! Cora/Citeseer/DBLP-like citation graphs for the node attribute
+//! completion task (Table IV).
+//!
+//! Vertices are documents with a latent class; attribute values are
+//! bag-of-words tokens drawn from class-conditional Zipf distributions;
+//! edges are class-homophilous citations. The property Table IV relies
+//! on — a node's attributes are predictable from its neighbours' — is
+//! therefore planted directly.
+
+use cspm_graph::GraphBuilder;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::util::{community_edges, ensure_connected, zipf};
+use crate::Scale;
+
+/// Which benchmark the generator mimics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompletionKind {
+    /// Cora-like: 2708 nodes, 1433 words, 7 classes, K ∈ {10, 20, 50}.
+    Cora,
+    /// Citeseer-like: 3327 nodes, 3703 words, 6 classes, K ∈ {10, 20, 50}.
+    Citeseer,
+    /// DBLP-like: fewer attribute values per node, K ∈ {3, 5, 10}.
+    Dblp,
+}
+
+/// A generated completion benchmark.
+#[derive(Debug, Clone)]
+pub struct CompletionDataset {
+    /// Dataset name for reports.
+    pub name: &'static str,
+    /// The attributed graph (documents + words).
+    pub graph: cspm_graph::AttributedGraph,
+    /// Latent class per vertex (not visible to models; used only for
+    /// analysis).
+    pub classes: Vec<usize>,
+    /// The three K values Table IV reports for this dataset.
+    pub ks: [usize; 3],
+}
+
+fn params(kind: CompletionKind, scale: Scale) -> (usize, usize, usize, usize, usize, [usize; 3]) {
+    // (nodes, edges, vocab, classes, words_per_node, ks)
+    match (kind, scale) {
+        (CompletionKind::Cora, Scale::Paper) => (2708, 5429, 1433, 7, 18, [10, 20, 50]),
+        (CompletionKind::Cora, Scale::Small) => (600, 1400, 360, 7, 14, [10, 20, 50]),
+        (CompletionKind::Cora, Scale::Tiny) => (120, 300, 80, 4, 8, [5, 10, 20]),
+        (CompletionKind::Citeseer, Scale::Paper) => (3327, 4732, 3703, 6, 20, [10, 20, 50]),
+        (CompletionKind::Citeseer, Scale::Small) => (700, 1200, 500, 6, 15, [10, 20, 50]),
+        (CompletionKind::Citeseer, Scale::Tiny) => (140, 280, 100, 4, 8, [5, 10, 20]),
+        (CompletionKind::Dblp, Scale::Paper) => (2723, 3464, 300, 8, 5, [3, 5, 10]),
+        (CompletionKind::Dblp, Scale::Small) => (600, 900, 120, 8, 4, [3, 5, 10]),
+        (CompletionKind::Dblp, Scale::Tiny) => (120, 220, 50, 4, 3, [3, 5, 10]),
+    }
+}
+
+/// Generates a completion benchmark.
+pub fn citation_completion(kind: CompletionKind, scale: Scale, seed: u64) -> CompletionDataset {
+    let (n, m, vocab, n_classes, words_per_node, ks) = params(kind, scale);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Class-conditional vocabularies: each class owns an exclusive slice
+    // of ~80% of the vocabulary; 20% is shared background. Class words
+    // are sampled nearly uniformly inside the class slice so class↔word
+    // associations are crisp (real bag-of-words benchmarks behave this
+    // way: topic words are strongly class-conditioned).
+    let shared = (vocab as f64 * 0.2) as usize;
+    let per_class = (vocab - shared) / n_classes;
+
+    let mut b = GraphBuilder::with_capacity(n);
+    let mut classes = Vec::with_capacity(n);
+    let mut communities: Vec<Vec<u32>> = vec![Vec::new(); n_classes];
+    for _ in 0..n {
+        let class = rng.gen_range(0..n_classes);
+        classes.push(class);
+        let mut words: Vec<String> = Vec::with_capacity(words_per_node);
+        for _ in 0..words_per_node {
+            if rng.gen::<f64>() < 0.85 {
+                // Class word, near-uniform inside the class slice.
+                let w = shared + class * per_class + zipf(&mut rng, per_class.max(1), 0.6);
+                words.push(format!("w{w}"));
+            } else {
+                let w = zipf(&mut rng, shared.max(1), 0.6);
+                words.push(format!("w{w}"));
+            }
+        }
+        let id = b.add_vertex(words.iter());
+        communities[class].push(id);
+    }
+    community_edges(&mut b, &mut rng, n, m, 0.85, &communities);
+    let graph = ensure_connected(b, &mut rng);
+
+    let name = match kind {
+        CompletionKind::Cora => "Cora(synthetic)",
+        CompletionKind::Citeseer => "Citeseer(synthetic)",
+        CompletionKind::Dblp => "DBLP(synthetic)",
+    };
+    CompletionDataset { name, graph, classes, ks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cora_paper_scale() {
+        let d = citation_completion(CompletionKind::Cora, Scale::Paper, 4);
+        assert_eq!(d.graph.vertex_count(), 2708);
+        assert!(d.graph.attr_count() <= 1433);
+        assert_eq!(d.ks, [10, 20, 50]);
+        assert!(d.graph.is_connected());
+    }
+
+    #[test]
+    fn dblp_has_fewer_words_per_node() {
+        let cora = citation_completion(CompletionKind::Cora, Scale::Small, 4);
+        let dblp = citation_completion(CompletionKind::Dblp, Scale::Small, 4);
+        assert!(dblp.graph.mean_labels_per_vertex() < cora.graph.mean_labels_per_vertex());
+        assert_eq!(dblp.ks, [3, 5, 10]);
+    }
+
+    #[test]
+    fn same_class_nodes_share_words_more() {
+        let d = citation_completion(CompletionKind::Cora, Scale::Tiny, 4);
+        let g = &d.graph;
+        let overlap = |u: u32, v: u32| {
+            g.labels(u)
+                .iter()
+                .filter(|a| g.labels(v).contains(a))
+                .count()
+        };
+        let mut same = (0usize, 0usize);
+        let mut diff = (0usize, 0usize);
+        for u in 0..g.vertex_count() as u32 {
+            for v in (u + 1)..g.vertex_count() as u32 {
+                let o = overlap(u, v);
+                if d.classes[u as usize] == d.classes[v as usize] {
+                    same = (same.0 + o, same.1 + 1);
+                } else {
+                    diff = (diff.0 + o, diff.1 + 1);
+                }
+            }
+        }
+        let same_avg = same.0 as f64 / same.1 as f64;
+        let diff_avg = diff.0 as f64 / diff.1 as f64;
+        assert!(same_avg > diff_avg * 1.5, "same {same_avg} vs diff {diff_avg}");
+    }
+}

@@ -1,0 +1,147 @@
+//! Pokec-like social network with music-taste attributes (Table II
+//! row 4).
+//!
+//! Two planted taste communities reproduce the §VI-B(3) patterns:
+//! younger users cluster around `{rap, rock, metal, pop, sladaky}` and
+//! older users around `{disko, oldies}`; a long Zipf tail of synthetic
+//! genres provides the ~914-value attribute universe. At `Scale::Paper`
+//! this generates 1.6M vertices / ~30M edges via the bulk constructor.
+
+use cspm_graph::{AttrId, AttrTable, AttributedGraph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::util::zipf;
+use crate::{Dataset, Scale};
+
+const YOUNG: &[&str] = &["rap", "rock", "metal", "pop", "sladaky"];
+const OLD: &[&str] = &["disko", "oldies", "folk", "dychovka"];
+
+fn scale_params(scale: Scale) -> (usize, usize, usize) {
+    // (users, friendships, n_genres)
+    match scale {
+        Scale::Paper => (1_632_803, 30_622_564, 914),
+        Scale::Small => (30_000, 280_000, 300),
+        Scale::Tiny => (400, 2_400, 60),
+    }
+}
+
+/// Pokec-like dataset; deterministic per seed.
+pub fn pokec_like(scale: Scale, seed: u64) -> Dataset {
+    let (n, m, n_genres) = scale_params(scale);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut attrs = AttrTable::new();
+    let young: Vec<AttrId> = YOUNG.iter().map(|g| attrs.intern(g)).collect();
+    let old: Vec<AttrId> = OLD.iter().map(|g| attrs.intern(g)).collect();
+    let mut tail: Vec<AttrId> = Vec::new();
+    while attrs.len() < n_genres {
+        tail.push(attrs.intern(&format!("genre{}", attrs.len())));
+    }
+
+    // Community assignment: 55% young, 30% old, 15% mixed listeners.
+    let mut labels: Vec<Vec<AttrId>> = Vec::with_capacity(n);
+    let mut community = Vec::with_capacity(n);
+    for _ in 0..n {
+        let r = rng.gen::<f64>();
+        let c = if r < 0.55 { 0u8 } else if r < 0.85 { 1 } else { 2 };
+        community.push(c);
+        let mut vals: Vec<AttrId> = Vec::new();
+        match c {
+            0 => {
+                // A young user lists 2–4 of the young genres.
+                let k = 2 + rng.gen_range(0..3);
+                for _ in 0..k {
+                    vals.push(young[rng.gen_range(0..young.len())]);
+                }
+            }
+            1 => {
+                let k = 1 + rng.gen_range(0..2);
+                for _ in 0..k {
+                    vals.push(old[rng.gen_range(0..old.len())]);
+                }
+            }
+            _ => {}
+        }
+        // Tail genres for everyone (Zipf-popular).
+        let extra = zipf(&mut rng, 3, 1.3);
+        for _ in 0..extra {
+            if !tail.is_empty() {
+                vals.push(tail[zipf(&mut rng, tail.len(), 1.05)]);
+            }
+        }
+        if vals.is_empty() {
+            // Guarantee at least one attribute per user.
+            vals.push(if rng.gen() { young[0] } else { old[0] });
+        }
+        labels.push(vals);
+    }
+
+    // Friendships: ring backbone (guarantees connectivity) + homophilous
+    // random edges.
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(m + n);
+    for v in 0..n as u32 {
+        edges.push((v, (v + 1) % n as u32));
+    }
+    let remaining = m.saturating_sub(n);
+    for _ in 0..remaining {
+        let u = rng.gen_range(0..n) as u32;
+        // 80% of friendships stay within the community: sample nearby in
+        // community order via rejection (cheap at our community sizes).
+        let v = if rng.gen::<f64>() < 0.8 {
+            let mut v = rng.gen_range(0..n) as u32;
+            for _ in 0..8 {
+                if community[v as usize] == community[u as usize] && v != u {
+                    break;
+                }
+                v = rng.gen_range(0..n) as u32;
+            }
+            v
+        } else {
+            rng.gen_range(0..n) as u32
+        };
+        if u != v {
+            edges.push((u, v));
+        }
+    }
+
+    let graph = AttributedGraph::from_edge_list(labels, attrs, edges)
+        .expect("generated edges are valid");
+    Dataset { name: "Pokec(synthetic)", category: "Music", graph }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cspm_graph::AStar;
+
+    #[test]
+    fn tiny_scale_is_connected_with_planted_tastes() {
+        let d = pokec_like(Scale::Tiny, 11);
+        assert!(d.graph.is_connected());
+        let g = &d.graph;
+        let rap = g.attrs().get("rap").unwrap();
+        let rock = g.attrs().get("rock").unwrap();
+        let pop = g.attrs().get("pop").unwrap();
+        // §VI-B(3): ({rap}, {rock, pop, …}) should be well-supported.
+        let astar = AStar::new(vec![rap], vec![rock, pop]);
+        assert!(astar.support(g) >= 10, "support {}", astar.support(g));
+    }
+
+    #[test]
+    fn small_scale_statistics() {
+        let d = pokec_like(Scale::Small, 12);
+        let (n, m, a) = d.statistics();
+        assert_eq!(n, 30_000);
+        assert!(m > 250_000, "edges {m}");
+        assert!(a <= 300);
+    }
+
+    #[test]
+    fn every_user_has_a_taste() {
+        let d = pokec_like(Scale::Tiny, 13);
+        for v in d.graph.vertices() {
+            assert!(!d.graph.labels(v).is_empty());
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Shared generator utilities: community graphs, Zipf sampling,
+//! connectivity repair.
+
+use cspm_graph::{GraphBuilder, VertexId};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Samples an index in `0..n` under a Zipf-like distribution with
+/// exponent `s` (rank 1 most likely). Used for venue/genre popularity.
+pub fn zipf(rng: &mut StdRng, n: usize, s: f64) -> usize {
+    debug_assert!(n >= 1);
+    // Inverse-CDF over precomputable weights would need allocation; for
+    // generator purposes rejection sampling on the unnormalised mass is
+    // simpler and fast enough (acceptance ≥ 1/harmonic).
+    loop {
+        let k = rng.gen_range(0..n);
+        let w = 1.0 / ((k + 1) as f64).powf(s);
+        if rng.gen::<f64>() < w {
+            return k;
+        }
+    }
+}
+
+/// Adds `m` community-biased edges among `n` vertices: with probability
+/// `homophily` both endpoints come from the same community (given by
+/// `community(v)`), otherwise they are uniform. Self-loops/duplicates are
+/// retried, so exactly `m` distinct edges are added (if possible).
+pub fn community_edges(
+    b: &mut GraphBuilder,
+    rng: &mut StdRng,
+    n: usize,
+    m: usize,
+    homophily: f64,
+    communities: &[Vec<VertexId>],
+) {
+    assert!(n >= 2);
+    let mut added = 0usize;
+    let mut attempts = 0usize;
+    let max_attempts = m.saturating_mul(50).max(1000);
+    while added < m && attempts < max_attempts {
+        attempts += 1;
+        let (u, v) = if rng.gen::<f64>() < homophily && !communities.is_empty() {
+            let c = &communities[rng.gen_range(0..communities.len())];
+            if c.len() < 2 {
+                continue;
+            }
+            (c[rng.gen_range(0..c.len())], c[rng.gen_range(0..c.len())])
+        } else {
+            (
+                rng.gen_range(0..n) as VertexId,
+                rng.gen_range(0..n) as VertexId,
+            )
+        };
+        if u == v || b.has_edge(u, v) {
+            continue;
+        }
+        b.add_edge(u, v).expect("vertices exist");
+        added += 1;
+    }
+}
+
+/// Makes the graph connected by chaining a representative of each
+/// component to the previous one. Cheap union-find over current edges
+/// would be cleaner, but the builder does not expose them; instead we
+/// connect vertices with degree 0 heuristically and then stitch
+/// remaining components after a build probe.
+pub fn ensure_connected(mut b: GraphBuilder, rng: &mut StdRng) -> cspm_graph::AttributedGraph {
+    loop {
+        let g = b.clone().build_unchecked();
+        let n = g.vertex_count();
+        if n == 0 {
+            return g;
+        }
+        // Find component representatives via BFS.
+        let mut comp = vec![usize::MAX; n];
+        let mut reps: Vec<VertexId> = Vec::new();
+        let mut stack = Vec::new();
+        for s in 0..n {
+            if comp[s] != usize::MAX {
+                continue;
+            }
+            let c = reps.len();
+            reps.push(s as VertexId);
+            comp[s] = c;
+            stack.push(s as VertexId);
+            while let Some(v) = stack.pop() {
+                for &u in g.neighbors(v) {
+                    if comp[u as usize] == usize::MAX {
+                        comp[u as usize] = c;
+                        stack.push(u);
+                    }
+                }
+            }
+        }
+        if reps.len() == 1 {
+            return g;
+        }
+        // Stitch: connect each component to a random vertex of the next.
+        for w in reps.windows(2) {
+            let other = (0..n)
+                .map(|_| rng.gen_range(0..n) as VertexId)
+                .find(|&v| comp[v as usize] == comp[w[1] as usize] as usize)
+                .unwrap_or(w[1]);
+            let _ = b.add_edge(w[0], other);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_prefers_low_ranks() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 10];
+        for _ in 0..5000 {
+            counts[zipf(&mut rng, 10, 1.0)] += 1;
+        }
+        assert!(counts[0] > counts[9] * 2, "rank 0 should dominate rank 9: {counts:?}");
+    }
+
+    #[test]
+    fn ensure_connected_repairs_components() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut b = GraphBuilder::new();
+        for i in 0..10 {
+            b.add_vertex([format!("x{i}")]);
+        }
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(2, 3).unwrap();
+        let g = ensure_connected(b, &mut rng);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn community_edges_adds_requested_count() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut b = GraphBuilder::new();
+        b.add_vertices(50);
+        let comms: Vec<Vec<VertexId>> = vec![(0..25).collect(), (25..50).collect()];
+        community_edges(&mut b, &mut rng, 50, 100, 0.9, &comms);
+        assert_eq!(b.edge_count(), 100);
+    }
+}

@@ -1,0 +1,158 @@
+//! Attribute-stars (a-stars), the paper's pattern type (§IV-A).
+
+use std::fmt;
+
+use crate::attrs::{AttrId, AttrTable};
+use crate::graph::{AttributedGraph, VertexId};
+use crate::star::{contains_all, Star};
+
+/// An attribute-star `S = (Sc, SL)`: a coreset of attribute values on a
+/// core vertex and a leafset of attribute values appearing on any of its
+/// leaves (§IV-A).
+///
+/// Both sets are stored sorted and deduplicated. An a-star *matches* a
+/// [`Star`] `X` when (1) every core value appears on `X`'s core and
+/// (2) every leaf value appears on at least one leaf of `X`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AStar {
+    coreset: Vec<AttrId>,
+    leafset: Vec<AttrId>,
+}
+
+impl AStar {
+    /// Creates an a-star; sorts and deduplicates both sets.
+    ///
+    /// # Panics
+    /// Panics if either set is empty.
+    pub fn new(mut coreset: Vec<AttrId>, mut leafset: Vec<AttrId>) -> Self {
+        assert!(!coreset.is_empty(), "coreset must be non-empty");
+        assert!(!leafset.is_empty(), "leafset must be non-empty");
+        coreset.sort_unstable();
+        coreset.dedup();
+        leafset.sort_unstable();
+        leafset.dedup();
+        Self { coreset, leafset }
+    }
+
+    /// The coreset `Sc`.
+    pub fn coreset(&self) -> &[AttrId] {
+        &self.coreset
+    }
+
+    /// The leafset `SL`.
+    pub fn leafset(&self) -> &[AttrId] {
+        &self.leafset
+    }
+
+    /// Whether this a-star matches star `X` in `g` (§IV-A definition).
+    pub fn matches(&self, g: &AttributedGraph, x: &Star) -> bool {
+        if !contains_all(g.labels(x.core()), &self.coreset) {
+            return false;
+        }
+        self.leafset.iter().all(|&y| {
+            x.leaves().iter().any(|&u| g.has_label(u, y))
+        })
+    }
+
+    /// Whether this a-star matches the adjacency-list star rooted at `v`.
+    pub fn matches_at(&self, g: &AttributedGraph, v: VertexId) -> bool {
+        match g.star_of(v) {
+            Some(star) => self.matches(g, &star),
+            None => false,
+        }
+    }
+
+    /// All vertices whose adjacency-list star this a-star matches.
+    pub fn occurrences(&self, g: &AttributedGraph) -> Vec<VertexId> {
+        g.vertices().filter(|&v| self.matches_at(g, v)).collect()
+    }
+
+    /// Support: number of occurrences.
+    pub fn support(&self, g: &AttributedGraph) -> usize {
+        g.vertices().filter(|&v| self.matches_at(g, v)).count()
+    }
+
+    /// Renders using attribute names, e.g. `({a}, {b, c})`.
+    pub fn display<'a>(&'a self, attrs: &'a AttrTable) -> DisplayAStar<'a> {
+        DisplayAStar { astar: self, attrs }
+    }
+}
+
+/// Helper returned by [`AStar::display`].
+pub struct DisplayAStar<'a> {
+    astar: &'a AStar,
+    attrs: &'a AttrTable,
+}
+
+impl fmt::Display for DisplayAStar<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "({}, {})",
+            self.attrs.display_set(&self.astar.coreset),
+            self.attrs.display_set(&self.astar.leafset)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::paper_example;
+
+    #[test]
+    fn fig1c_astar_matches_fig1b_star() {
+        // The a-star S = ({a},{b,c}) of Fig. 1(c) matches the star of
+        // Fig. 1(b) (core v1, leaves v2,v3,v4).
+        let (g, at) = paper_example();
+        let s = AStar::new(vec![at.a], vec![at.b, at.c]);
+        let x = g.star_of(0).unwrap();
+        assert!(s.matches(&g, &x));
+        // Occurrences: v1 (neighbours carry b on v4 and c on v2/v3) and v5
+        // (neighbours v3{c}, v4{b}).
+        assert_eq!(s.occurrences(&g), vec![0, 4]);
+        assert_eq!(s.support(&g), 2);
+    }
+
+    #[test]
+    fn coreset_requirement_is_checked() {
+        let (g, at) = paper_example();
+        let s = AStar::new(vec![at.c], vec![at.a]);
+        // c appears at v2 and v3; both have neighbour v1 carrying a.
+        assert_eq!(s.occurrences(&g), vec![1, 2]);
+        let s2 = AStar::new(vec![at.b], vec![at.c]);
+        // b at v4 (neighbours v1{a}, v5{a,b}: no c) and v5 (neighbour v3{c}).
+        assert_eq!(s2.occurrences(&g), vec![4]);
+    }
+
+    #[test]
+    fn sets_are_normalised() {
+        let s = AStar::new(vec![2, 1, 2], vec![3, 3, 0]);
+        assert_eq!(s.coreset(), &[1, 2]);
+        assert_eq!(s.leafset(), &[0, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "coreset must be non-empty")]
+    fn empty_coreset_panics() {
+        let _ = AStar::new(vec![], vec![1]);
+    }
+
+    #[test]
+    fn display_uses_names() {
+        let (g, at) = paper_example();
+        let s = AStar::new(vec![at.a], vec![at.b, at.c]);
+        // Ids are interned in first-seen order (a, c, b in Fig. 1), and the
+        // display follows id order.
+        assert_eq!(s.display(g.attrs()).to_string(), "({a}, {c, b})");
+    }
+
+    #[test]
+    fn leaf_values_may_come_from_different_leaves() {
+        // One a-star can match even if no single leaf carries every value.
+        let (g, at) = paper_example();
+        let s = AStar::new(vec![at.a], vec![at.a, at.b, at.c]);
+        // v1: leaves v2{a,c}, v3{c}, v4{b} jointly carry a, b, c.
+        assert!(s.matches_at(&g, 0));
+    }
+}

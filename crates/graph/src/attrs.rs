@@ -1,0 +1,135 @@
+//! Interned nominal attribute values.
+//!
+//! Attribute values are arbitrary strings in input data (`"ICDM"`,
+//! `"rap"`, `"NbDepart+"`). Internally they are interned into dense
+//! [`AttrId`]s so that attribute sets can be stored and compared as sorted
+//! integer slices.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Dense identifier for an interned attribute value.
+pub type AttrId = u32;
+
+/// Bidirectional map between attribute-value strings and dense ids.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AttrTable {
+    names: Vec<String>,
+    index: HashMap<String, AttrId>,
+}
+
+impl AttrTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its id (existing or freshly assigned).
+    pub fn intern(&mut self, name: &str) -> AttrId {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = self.names.len() as AttrId;
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up the id of an already-interned value.
+    pub fn get(&self, name: &str) -> Option<AttrId> {
+        self.index.get(name).copied()
+    }
+
+    /// Returns the string for `id`, or `None` if out of range.
+    pub fn name(&self, id: AttrId) -> Option<&str> {
+        self.names.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of distinct attribute values interned so far.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no value has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (AttrId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (i as AttrId, n.as_str()))
+    }
+
+    /// Renders a sorted id slice as `{a, b, c}` for diagnostics.
+    pub fn display_set<'a>(&'a self, ids: &'a [AttrId]) -> DisplaySet<'a> {
+        DisplaySet { table: self, ids }
+    }
+}
+
+/// Helper returned by [`AttrTable::display_set`].
+pub struct DisplaySet<'a> {
+    table: &'a AttrTable,
+    ids: &'a [AttrId],
+}
+
+impl fmt::Display for DisplaySet<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, &id) in self.ids.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match self.table.name(id) {
+                Some(n) => write!(f, "{n}")?,
+                None => write!(f, "#{id}")?,
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = AttrTable::new();
+        let a = t.intern("a");
+        let b = t.intern("b");
+        assert_ne!(a, b);
+        assert_eq!(t.intern("a"), a);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn lookup_roundtrip() {
+        let mut t = AttrTable::new();
+        let id = t.intern("ICDM");
+        assert_eq!(t.get("ICDM"), Some(id));
+        assert_eq!(t.name(id), Some("ICDM"));
+        assert_eq!(t.get("EDBT"), None);
+        assert_eq!(t.name(99), None);
+    }
+
+    #[test]
+    fn display_set_formats_names() {
+        let mut t = AttrTable::new();
+        let a = t.intern("a");
+        let c = t.intern("c");
+        assert_eq!(t.display_set(&[a, c]).to_string(), "{a, c}");
+        assert_eq!(t.display_set(&[]).to_string(), "{}");
+    }
+
+    #[test]
+    fn iter_in_id_order() {
+        let mut t = AttrTable::new();
+        t.intern("x");
+        t.intern("y");
+        let got: Vec<_> = t.iter().collect();
+        assert_eq!(got, vec![(0, "x"), (1, "y")]);
+    }
+}

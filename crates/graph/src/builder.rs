@@ -1,0 +1,195 @@
+//! Mutable construction of [`AttributedGraph`]s.
+
+use std::collections::BTreeSet;
+
+use crate::attrs::{AttrId, AttrTable};
+use crate::error::GraphError;
+use crate::graph::{AttributedGraph, VertexId};
+
+/// Incremental builder for [`AttributedGraph`].
+///
+/// Vertices receive dense ids in insertion order. Edges are undirected;
+/// duplicates are ignored and self-loops rejected (the paper's inputs
+/// contain none, §III).
+#[derive(Debug, Default, Clone)]
+pub struct GraphBuilder {
+    labels: Vec<BTreeSet<AttrId>>,
+    edges: BTreeSet<(VertexId, VertexId)>,
+    attrs: AttrTable,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-sizes internal storage for `n` vertices.
+    pub fn with_capacity(n: usize) -> Self {
+        Self { labels: Vec::with_capacity(n), ..Self::default() }
+    }
+
+    /// Adds a vertex carrying the given attribute values; returns its id.
+    pub fn add_vertex<I, S>(&mut self, values: I) -> VertexId
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let id = self.labels.len() as VertexId;
+        let set = values
+            .into_iter()
+            .map(|s| self.attrs.intern(s.as_ref()))
+            .collect();
+        self.labels.push(set);
+        id
+    }
+
+    /// Adds `n` vertices without attributes; returns the id of the first.
+    pub fn add_vertices(&mut self, n: usize) -> VertexId {
+        let first = self.labels.len() as VertexId;
+        self.labels.extend(std::iter::repeat_with(BTreeSet::new).take(n));
+        first
+    }
+
+    /// Attaches attribute value `value` to an existing vertex.
+    pub fn add_label(&mut self, v: VertexId, value: &str) -> Result<(), GraphError> {
+        let set = self
+            .labels
+            .get_mut(v as usize)
+            .ok_or(GraphError::UnknownVertex(v))?;
+        let id = self.attrs.intern(value);
+        set.insert(id);
+        Ok(())
+    }
+
+    /// Adds the undirected edge `{u, v}`. Duplicate edges are no-ops.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> Result<(), GraphError> {
+        let n = self.labels.len() as VertexId;
+        if u >= n {
+            return Err(GraphError::UnknownVertex(u));
+        }
+        if v >= n {
+            return Err(GraphError::UnknownVertex(v));
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop(u));
+        }
+        self.edges.insert((u.min(v), u.max(v)));
+        Ok(())
+    }
+
+    /// Number of vertices added so far.
+    pub fn vertex_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of distinct undirected edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the edge is already present.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.edges.contains(&(u.min(v), u.max(v)))
+    }
+
+    /// Finishes construction and validates the paper's input requirements
+    /// (non-empty, connected).
+    pub fn build(self) -> Result<AttributedGraph, GraphError> {
+        let g = self.build_unchecked();
+        g.validate()?;
+        Ok(g)
+    }
+
+    /// Finishes construction without the connectivity check. Useful for
+    /// intermediate graphs and for tests.
+    pub fn build_unchecked(self) -> AttributedGraph {
+        let n = self.labels.len();
+        let mut adjacency = vec![Vec::new(); n];
+        for &(u, v) in &self.edges {
+            adjacency[u as usize].push(v);
+            adjacency[v as usize].push(u);
+        }
+        for list in &mut adjacency {
+            list.sort_unstable();
+        }
+        let labels = self
+            .labels
+            .into_iter()
+            .map(|set| set.into_iter().collect())
+            .collect();
+        AttributedGraph {
+            adjacency,
+            labels,
+            attrs: self.attrs,
+            edge_count: self.edges.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let mut b = GraphBuilder::new();
+        let u = b.add_vertex(["x"]);
+        let v = b.add_vertex(["y"]);
+        b.add_edge(u, v).unwrap();
+        b.add_edge(v, u).unwrap();
+        assert_eq!(b.edge_count(), 1);
+        let g = b.build().unwrap();
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.has_edge(u, v) && g.has_edge(v, u));
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut b = GraphBuilder::new();
+        let v = b.add_vertex(["x"]);
+        assert!(matches!(b.add_edge(v, v), Err(GraphError::SelfLoop(0))));
+    }
+
+    #[test]
+    fn unknown_vertex_rejected() {
+        let mut b = GraphBuilder::new();
+        let v = b.add_vertex(["x"]);
+        assert!(matches!(b.add_edge(v, 5), Err(GraphError::UnknownVertex(5))));
+        assert!(matches!(b.add_label(9, "y"), Err(GraphError::UnknownVertex(9))));
+    }
+
+    #[test]
+    fn labels_are_deduplicated_and_sorted() {
+        let mut b = GraphBuilder::new();
+        let v = b.add_vertex(["b", "a", "b"]);
+        b.add_label(v, "a").unwrap();
+        let w = b.add_vertex(["c"]);
+        b.add_edge(v, w).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.labels(v).len(), 2);
+        assert!(g.labels(v).windows(2).all(|p| p[0] < p[1]));
+    }
+
+    #[test]
+    fn add_vertices_bulk() {
+        let mut b = GraphBuilder::new();
+        let first = b.add_vertices(3);
+        assert_eq!(first, 0);
+        assert_eq!(b.vertex_count(), 3);
+        b.add_label(2, "z").unwrap();
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(1, 2).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.labels(2).len(), 1);
+        assert!(g.labels(0).is_empty());
+    }
+
+    #[test]
+    fn build_enforces_connectivity() {
+        let mut b = GraphBuilder::new();
+        b.add_vertex(["x"]);
+        b.add_vertex(["y"]);
+        assert!(matches!(b.build(), Err(GraphError::Disconnected { .. })));
+    }
+}

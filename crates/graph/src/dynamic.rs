@@ -1,0 +1,149 @@
+//! Dynamic attributed graphs: sequences of snapshots over a shared
+//! attribute universe (the paper's future-work item (2), and the data
+//! model of the §VI-D alarm application).
+//!
+//! CSPM mines a single graph; a snapshot sequence is mined through its
+//! *disjoint union* — every `(snapshot, vertex)` pair becomes one vertex
+//! of the union graph, so an a-star's frequency counts occurrences
+//! across time, exactly as the windowed alarm pipeline does.
+
+use crate::attrs::AttrTable;
+use crate::graph::{AttributedGraph, VertexId};
+
+/// A sequence of attributed-graph snapshots. Snapshots may have
+/// different vertex counts and attribute tables; attribute values are
+/// reconciled **by name** when building the union.
+#[derive(Debug, Clone, Default)]
+pub struct SnapshotSequence {
+    snapshots: Vec<AttributedGraph>,
+}
+
+impl SnapshotSequence {
+    /// Creates an empty sequence.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a snapshot.
+    pub fn push(&mut self, g: AttributedGraph) {
+        self.snapshots.push(g);
+    }
+
+    /// Number of snapshots.
+    pub fn len(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// Whether the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.snapshots.is_empty()
+    }
+
+    /// The snapshots.
+    pub fn snapshots(&self) -> &[AttributedGraph] {
+        &self.snapshots
+    }
+
+    /// Vertex-id offset of snapshot `i` within the union graph.
+    pub fn offset(&self, i: usize) -> VertexId {
+        self.snapshots[..i]
+            .iter()
+            .map(|g| g.vertex_count() as VertexId)
+            .sum()
+    }
+
+    /// Maps a union-graph vertex back to `(snapshot index, local id)`.
+    pub fn locate(&self, v: VertexId) -> Option<(usize, VertexId)> {
+        let mut rest = v;
+        for (i, g) in self.snapshots.iter().enumerate() {
+            let n = g.vertex_count() as VertexId;
+            if rest < n {
+                return Some((i, rest));
+            }
+            rest -= n;
+        }
+        None
+    }
+
+    /// Builds the disjoint-union graph with a shared attribute table
+    /// (values reconciled by name).
+    pub fn union_graph(&self) -> AttributedGraph {
+        let mut attrs = AttrTable::new();
+        let mut labels = Vec::new();
+        let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+        let mut offset: VertexId = 0;
+        for g in &self.snapshots {
+            // Remap this snapshot's attribute ids into the shared table.
+            let remap: Vec<u32> = (0..g.attr_count() as u32)
+                .map(|a| attrs.intern(g.attrs().name(a).expect("interned")))
+                .collect();
+            for v in g.vertices() {
+                labels.push(g.labels(v).iter().map(|&a| remap[a as usize]).collect());
+            }
+            edges.extend(g.edges().map(|(u, v)| (u + offset, v + offset)));
+            offset += g.vertex_count() as VertexId;
+        }
+        AttributedGraph::from_edge_list(labels, attrs, edges)
+            .expect("snapshot edges remain valid under offsetting")
+    }
+}
+
+impl FromIterator<AttributedGraph> for SnapshotSequence {
+    fn from_iter<T: IntoIterator<Item = AttributedGraph>>(iter: T) -> Self {
+        Self { snapshots: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{labelled_path, paper_example};
+
+    #[test]
+    fn union_offsets_and_locate() {
+        let (g1, _) = paper_example();
+        let g2 = labelled_path(4, 2);
+        let seq: SnapshotSequence = [g1.clone(), g2.clone()].into_iter().collect();
+        assert_eq!(seq.len(), 2);
+        assert_eq!(seq.offset(0), 0);
+        assert_eq!(seq.offset(1), 5);
+        assert_eq!(seq.locate(3), Some((0, 3)));
+        assert_eq!(seq.locate(7), Some((1, 2)));
+        assert_eq!(seq.locate(99), None);
+
+        let u = seq.union_graph();
+        assert_eq!(u.vertex_count(), 9);
+        assert_eq!(u.edge_count(), g1.edge_count() + g2.edge_count());
+        // No cross-snapshot edges.
+        assert!(!u.has_edge(4, 5));
+    }
+
+    #[test]
+    fn attribute_names_are_reconciled() {
+        // Two snapshots interning the same names in different orders must
+        // agree in the union.
+        let mut b1 = crate::GraphBuilder::new();
+        let x = b1.add_vertex(["p"]);
+        let y = b1.add_vertex(["q"]);
+        b1.add_edge(x, y).unwrap();
+        let mut b2 = crate::GraphBuilder::new();
+        let x = b2.add_vertex(["q"]);
+        let y = b2.add_vertex(["p"]);
+        b2.add_edge(x, y).unwrap();
+        let seq: SnapshotSequence =
+            [b1.build().unwrap(), b2.build().unwrap()].into_iter().collect();
+        let u = seq.union_graph();
+        let p = u.attrs().get("p").unwrap();
+        assert!(u.has_label(0, p));
+        assert!(u.has_label(3, p));
+        assert_eq!(u.attr_count(), 2);
+    }
+
+    #[test]
+    fn empty_sequence_yields_empty_graph() {
+        let seq = SnapshotSequence::new();
+        assert!(seq.is_empty());
+        let u = seq.union_graph();
+        assert_eq!(u.vertex_count(), 0);
+    }
+}

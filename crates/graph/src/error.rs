@@ -1,0 +1,71 @@
+//! Error type shared by graph construction and I/O.
+
+use std::fmt;
+use std::io;
+
+/// Errors raised while building, validating, or (de)serialising graphs.
+#[derive(Debug)]
+pub enum GraphError {
+    /// An edge referenced a vertex id that was never added.
+    UnknownVertex(u32),
+    /// A self-loop `{v, v}` was requested; the paper's input graphs
+    /// exclude self-loops (§III).
+    SelfLoop(u32),
+    /// The graph is empty (no vertices).
+    Empty,
+    /// The graph is not connected; `components` holds the component count.
+    Disconnected { components: usize },
+    /// A parse error in the text format, with 1-based line number.
+    Parse { line: usize, message: String },
+    /// An underlying I/O failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownVertex(v) => write!(f, "unknown vertex id {v}"),
+            GraphError::SelfLoop(v) => write!(f, "self-loop on vertex {v} is not allowed"),
+            GraphError::Empty => write!(f, "graph has no vertices"),
+            GraphError::Disconnected { components } => {
+                write!(f, "graph is not connected ({components} components)")
+            }
+            GraphError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for GraphError {
+    fn from(e: io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(GraphError::UnknownVertex(3).to_string(), "unknown vertex id 3");
+        assert_eq!(
+            GraphError::SelfLoop(1).to_string(),
+            "self-loop on vertex 1 is not allowed"
+        );
+        assert!(GraphError::Disconnected { components: 2 }
+            .to_string()
+            .contains("2 components"));
+        let p = GraphError::Parse { line: 7, message: "bad token".into() };
+        assert!(p.to_string().contains("line 7"));
+    }
+}

@@ -1,0 +1,85 @@
+//! Shared test fixtures, most importantly the paper's running example.
+
+use crate::attrs::AttrId;
+use crate::builder::GraphBuilder;
+use crate::graph::AttributedGraph;
+
+/// Attribute ids of the running example, for readable assertions.
+#[derive(Debug, Clone, Copy)]
+pub struct PaperAttrs {
+    /// Attribute value `a`.
+    pub a: AttrId,
+    /// Attribute value `b`.
+    pub b: AttrId,
+    /// Attribute value `c`.
+    pub c: AttrId,
+}
+
+/// Builds the running example of Fig. 1(a):
+///
+/// ```text
+///        v1 (a)
+///       /  |  \
+///  v2(a,c) v3(c) v4(b)
+///           \    /
+///           v5 (a,b)
+/// ```
+///
+/// Vertices are created in order, so `v1 = 0, …, v5 = 4`. The adjacency
+/// list is `{(v1,{v2,v3,v4}), (v2,{v1}), (v3,{v1,v5}), (v4,{v1,v5}),
+/// (v5,{v3,v4})}` as printed in §III.
+pub fn paper_example() -> (AttributedGraph, PaperAttrs) {
+    let mut b = GraphBuilder::new();
+    let v1 = b.add_vertex(["a"]);
+    let v2 = b.add_vertex(["a", "c"]);
+    let v3 = b.add_vertex(["c"]);
+    let v4 = b.add_vertex(["b"]);
+    let v5 = b.add_vertex(["a", "b"]);
+    b.add_edge(v1, v2).unwrap();
+    b.add_edge(v1, v3).unwrap();
+    b.add_edge(v1, v4).unwrap();
+    b.add_edge(v3, v5).unwrap();
+    b.add_edge(v4, v5).unwrap();
+    let g = b.build().expect("paper example is connected");
+    let attrs = PaperAttrs {
+        a: g.attrs().get("a").unwrap(),
+        b: g.attrs().get("b").unwrap(),
+        c: g.attrs().get("c").unwrap(),
+    };
+    (g, attrs)
+}
+
+/// A small path graph `0 - 1 - 2 - … - (n-1)` where vertex `i` carries the
+/// attribute value `l{i % k}`; handy for quick tests.
+pub fn labelled_path(n: usize, k: usize) -> AttributedGraph {
+    assert!(n >= 2 && k >= 1);
+    let mut b = GraphBuilder::new();
+    for i in 0..n {
+        b.add_vertex([format!("l{}", i % k)]);
+    }
+    for i in 0..n - 1 {
+        b.add_edge(i as u32, i as u32 + 1).unwrap();
+    }
+    b.build().expect("path is connected")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_attribute_ids_are_distinct() {
+        let (_, a) = paper_example();
+        assert!(a.a != a.b && a.b != a.c && a.a != a.c);
+    }
+
+    #[test]
+    fn labelled_path_shape() {
+        let g = labelled_path(5, 2);
+        assert_eq!(g.vertex_count(), 5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.attr_count(), 2);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+    }
+}

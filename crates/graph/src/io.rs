@@ -1,0 +1,255 @@
+//! Plain-text graph (de)serialisation.
+//!
+//! The format is line oriented:
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! v 0 a c        # vertex 0 with attribute values "a" and "c"
+//! v 1 b
+//! e 0 1          # undirected edge {0, 1}
+//! ```
+//!
+//! Vertex ids must be dense (`0..n`), but `v` lines may appear in any
+//! order. Attribute values may not contain whitespace.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+use crate::builder::GraphBuilder;
+use crate::error::GraphError;
+use crate::graph::AttributedGraph;
+
+/// Reads a graph from the text format. Does not enforce connectivity
+/// (call [`AttributedGraph::validate`] if the paper's input requirements
+/// must hold).
+pub fn read_graph<R: Read>(reader: R) -> Result<AttributedGraph, GraphError> {
+    let reader = BufReader::new(reader);
+    let mut vertices: Vec<(u32, Vec<String>)> = Vec::new();
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut max_id: Option<u32> = None;
+
+    for (lineno, line) in reader.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let tag = parts.next().unwrap();
+        let parse_id = |tok: Option<&str>| -> Result<u32, GraphError> {
+            tok.ok_or_else(|| GraphError::Parse {
+                line: lineno,
+                message: "missing vertex id".into(),
+            })?
+            .parse()
+            .map_err(|_| GraphError::Parse {
+                line: lineno,
+                message: "vertex id is not an integer".into(),
+            })
+        };
+        match tag {
+            "v" => {
+                let id = parse_id(parts.next())?;
+                max_id = Some(max_id.map_or(id, |m| m.max(id)));
+                vertices.push((id, parts.map(str::to_owned).collect()));
+            }
+            "e" => {
+                let u = parse_id(parts.next())?;
+                let v = parse_id(parts.next())?;
+                max_id = Some(max_id.map_or(u.max(v), |m| m.max(u).max(v)));
+                edges.push((u, v));
+            }
+            other => {
+                return Err(GraphError::Parse {
+                    line: lineno,
+                    message: format!("unknown record tag '{other}'"),
+                })
+            }
+        }
+    }
+
+    let n = max_id.map_or(0, |m| m as usize + 1);
+    let mut b = GraphBuilder::with_capacity(n);
+    b.add_vertices(n);
+    for (id, values) in vertices {
+        for value in values {
+            b.add_label(id, &value)?;
+        }
+    }
+    for (u, v) in edges {
+        b.add_edge(u, v)?;
+    }
+    Ok(b.build_unchecked())
+}
+
+/// Writes a graph in the text format (inverse of [`read_graph`]).
+pub fn write_graph<W: Write>(g: &AttributedGraph, writer: W) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# cspm attributed graph: {} vertices, {} edges", g.vertex_count(), g.edge_count())?;
+    for v in g.vertices() {
+        write!(w, "v {v}")?;
+        for &a in g.labels(v) {
+            let name = g.attrs().name(a).expect("label ids are always interned");
+            write!(w, " {name}")?;
+        }
+        writeln!(w)?;
+    }
+    for (u, v) in g.edges() {
+        writeln!(w, "e {u} {v}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a SNAP-style edge list (`u<TAB>v` or `u v` per line, `#`
+/// comments) together with a separate label file (`v value1 value2 …`
+/// per line). This is the interchange format of most public attributed
+/// graph dumps, so real datasets can be swapped in for the generators.
+pub fn read_edge_list_with_labels<R1: Read, R2: Read>(
+    edges: R1,
+    labels: R2,
+) -> Result<AttributedGraph, GraphError> {
+    let mut b = GraphBuilder::new();
+    let mut max_id: u32 = 0;
+    let mut parsed_edges: Vec<(u32, u32)> = Vec::new();
+    for (lineno, line) in BufReader::new(edges).lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let parse = |tok: Option<&str>| -> Result<u32, GraphError> {
+            tok.ok_or_else(|| GraphError::Parse {
+                line: lineno + 1,
+                message: "expected two vertex ids".into(),
+            })?
+            .parse()
+            .map_err(|_| GraphError::Parse {
+                line: lineno + 1,
+                message: "vertex id is not an integer".into(),
+            })
+        };
+        let u = parse(parts.next())?;
+        let v = parse(parts.next())?;
+        max_id = max_id.max(u).max(v);
+        parsed_edges.push((u, v));
+    }
+    let mut label_lines: Vec<(u32, Vec<String>)> = Vec::new();
+    for (lineno, line) in BufReader::new(labels).lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let v: u32 = parts
+            .next()
+            .unwrap()
+            .parse()
+            .map_err(|_| GraphError::Parse {
+                line: lineno + 1,
+                message: "label line must start with a vertex id".into(),
+            })?;
+        max_id = max_id.max(v);
+        label_lines.push((v, parts.map(str::to_owned).collect()));
+    }
+    b.add_vertices(max_id as usize + 1);
+    for (v, values) in label_lines {
+        for value in values {
+            b.add_label(v, &value)?;
+        }
+    }
+    for (u, v) in parsed_edges {
+        b.add_edge(u, v)?;
+    }
+    Ok(b.build_unchecked())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::paper_example;
+
+    #[test]
+    fn roundtrip_paper_example() {
+        let (g, _) = paper_example();
+        let mut buf = Vec::new();
+        write_graph(&g, &mut buf).unwrap();
+        let g2 = read_graph(&buf[..]).unwrap();
+        assert_eq!(g2.vertex_count(), g.vertex_count());
+        assert_eq!(g2.edge_count(), g.edge_count());
+        for v in g.vertices() {
+            assert_eq!(g2.neighbors(v), g.neighbors(v));
+            let names =
+                |gr: &AttributedGraph| -> Vec<String> {
+                    gr.labels(v)
+                        .iter()
+                        .map(|&a| gr.attrs().name(a).unwrap().to_owned())
+                        .collect()
+                };
+            assert_eq!(names(&g2), names(&g));
+        }
+    }
+
+    #[test]
+    fn parses_comments_blanks_and_order() {
+        let text = "\n# header\ne 0 1\nv 1 beta\nv 0 alpha gamma\n";
+        let g = read_graph(text.as_bytes()).unwrap();
+        assert_eq!(g.vertex_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.labels(0).len(), 2);
+    }
+
+    #[test]
+    fn vertex_only_seen_via_edge_exists() {
+        let g = read_graph("v 0 x\ne 0 2\n".as_bytes()).unwrap();
+        assert_eq!(g.vertex_count(), 3);
+        assert!(g.labels(2).is_empty());
+    }
+
+    #[test]
+    fn bad_tag_reports_line() {
+        let err = read_graph("v 0 x\nz 1 2\n".as_bytes()).unwrap_err();
+        match err {
+            GraphError::Parse { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("unknown record tag"));
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn bad_id_reports_line() {
+        let err = read_graph("e 0 q\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn self_loop_in_file_is_rejected() {
+        let err = read_graph("e 1 1\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::SelfLoop(1)));
+    }
+
+    #[test]
+    fn snap_style_edge_list_with_labels() {
+        let edges = "# comment\n0\t1\n1 2\n";
+        let labels = "0 alpha beta\n2 gamma\n";
+        let g = read_edge_list_with_labels(edges.as_bytes(), labels.as_bytes()).unwrap();
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.labels(0).len(), 2);
+        assert!(g.labels(1).is_empty());
+        assert_eq!(g.attrs().get("gamma").map(|a| g.has_label(2, a)), Some(true));
+    }
+
+    #[test]
+    fn snap_style_bad_lines_report_positions() {
+        let err = read_edge_list_with_labels("0 x\n".as_bytes(), "".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+        let err =
+            read_edge_list_with_labels("0 1\n".as_bytes(), "oops a b\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+}

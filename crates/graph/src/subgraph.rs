@@ -1,0 +1,129 @@
+//! Induced subgraphs and ego networks.
+//!
+//! Used by the application layers (e.g. extracting the neighbourhood a
+//! pattern occurrence lives in for inspection) and by dataset tooling.
+
+use crate::graph::{AttributedGraph, VertexId};
+
+/// An induced subgraph together with the mapping back to the parent
+/// graph's vertex ids.
+#[derive(Debug, Clone)]
+pub struct Subgraph {
+    /// The extracted graph (shares the parent's attribute table).
+    pub graph: AttributedGraph,
+    /// `original[i]` = parent-graph id of subgraph vertex `i`.
+    pub original: Vec<VertexId>,
+}
+
+impl Subgraph {
+    /// Maps a subgraph vertex id back to the parent graph.
+    pub fn to_parent(&self, v: VertexId) -> VertexId {
+        self.original[v as usize]
+    }
+
+    /// Maps a parent-graph vertex into the subgraph, if present.
+    pub fn from_parent(&self, v: VertexId) -> Option<VertexId> {
+        self.original
+            .iter()
+            .position(|&o| o == v)
+            .map(|i| i as VertexId)
+    }
+}
+
+/// Extracts the subgraph induced by `vertices` (deduplicated, order
+/// preserved). Edges are kept iff both endpoints are selected.
+pub fn induced_subgraph(g: &AttributedGraph, vertices: &[VertexId]) -> Subgraph {
+    let mut original: Vec<VertexId> = Vec::with_capacity(vertices.len());
+    let mut index: std::collections::HashMap<VertexId, VertexId> = std::collections::HashMap::new();
+    for &v in vertices {
+        if let std::collections::hash_map::Entry::Vacant(e) = index.entry(v) {
+            e.insert(original.len() as VertexId);
+            original.push(v);
+        }
+    }
+    let labels: Vec<Vec<u32>> = original.iter().map(|&v| g.labels(v).to_vec()).collect();
+    let mut edges = Vec::new();
+    for (i, &v) in original.iter().enumerate() {
+        for &u in g.neighbors(v) {
+            if let Some(&j) = index.get(&u) {
+                if (i as VertexId) < j {
+                    edges.push((i as VertexId, j));
+                }
+            }
+        }
+    }
+    let graph = AttributedGraph::from_edge_list(labels, g.attrs().clone(), edges)
+        .expect("induced edges are valid");
+    Subgraph { graph, original }
+}
+
+/// The ego network of `center`: the subgraph induced by `center` and
+/// every vertex within `radius` hops.
+pub fn ego_network(g: &AttributedGraph, center: VertexId, radius: usize) -> Subgraph {
+    let mut selected = vec![center];
+    let mut seen = std::collections::HashSet::from([center]);
+    let mut frontier = vec![center];
+    for _ in 0..radius {
+        let mut next = Vec::new();
+        for &v in &frontier {
+            for &u in g.neighbors(v) {
+                if seen.insert(u) {
+                    selected.push(u);
+                    next.push(u);
+                }
+            }
+        }
+        frontier = next;
+    }
+    induced_subgraph(g, &selected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::paper_example;
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges() {
+        let (g, at) = paper_example();
+        // v1, v2, v3: edges v1-v2 and v1-v3 survive; v3-v5 is cut.
+        let s = induced_subgraph(&g, &[0, 1, 2]);
+        assert_eq!(s.graph.vertex_count(), 3);
+        assert_eq!(s.graph.edge_count(), 2);
+        assert_eq!(s.to_parent(0), 0);
+        assert_eq!(s.from_parent(2), Some(2));
+        assert_eq!(s.from_parent(4), None);
+        // Labels and attribute table are preserved.
+        assert!(s.graph.has_label(1, at.a) && s.graph.has_label(1, at.c));
+        assert_eq!(s.graph.attrs().len(), g.attrs().len());
+    }
+
+    #[test]
+    fn duplicates_are_collapsed() {
+        let (g, _) = paper_example();
+        let s = induced_subgraph(&g, &[0, 0, 1, 1]);
+        assert_eq!(s.graph.vertex_count(), 2);
+    }
+
+    #[test]
+    fn ego_network_radii() {
+        let (g, _) = paper_example();
+        // v2's 1-hop ego: {v2, v1}; 2-hop adds v3, v4.
+        let one = ego_network(&g, 1, 1);
+        assert_eq!(one.graph.vertex_count(), 2);
+        let two = ego_network(&g, 1, 2);
+        assert_eq!(two.graph.vertex_count(), 4);
+        // 3-hop covers the whole example.
+        let three = ego_network(&g, 1, 3);
+        assert_eq!(three.graph.vertex_count(), 5);
+        assert_eq!(three.graph.edge_count(), g.edge_count());
+    }
+
+    #[test]
+    fn zero_radius_is_single_vertex() {
+        let (g, _) = paper_example();
+        let s = ego_network(&g, 0, 0);
+        assert_eq!(s.graph.vertex_count(), 1);
+        assert_eq!(s.graph.edge_count(), 0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Closed frequent itemsets.
+//!
+//! An itemset is *closed* when no proper superset has the same support.
+//! The Krimp paper recommends mining closed itemsets as candidates:
+//! they carry the same support information as the full collection at a
+//! fraction of the size, which shortens Krimp's candidate pass without
+//! changing what can be found.
+
+use std::collections::HashMap;
+
+use crate::eclat::{eclat, FrequentItemset};
+use crate::transaction::TransactionDb;
+
+/// Filters a mined collection down to the closed itemsets.
+///
+/// Implementation: group by support, then drop any itemset that has a
+/// proper superset with identical support (supersets can only appear in
+/// the same support group by anti-monotonicity).
+pub fn closed_only(mut itemsets: Vec<FrequentItemset>) -> Vec<FrequentItemset> {
+    let mut by_support: HashMap<u32, Vec<usize>> = HashMap::new();
+    for (i, f) in itemsets.iter().enumerate() {
+        by_support.entry(f.support).or_default().push(i);
+    }
+    let mut keep = vec![true; itemsets.len()];
+    for group in by_support.values() {
+        for &small in group {
+            for &large in group {
+                if small == large || itemsets[small].items.len() >= itemsets[large].items.len() {
+                    continue;
+                }
+                let is_subset = itemsets[small]
+                    .items
+                    .iter()
+                    .all(|i| itemsets[large].items.binary_search(i).is_ok());
+                if is_subset {
+                    keep[small] = false;
+                    break;
+                }
+            }
+        }
+    }
+    let mut idx = 0;
+    itemsets.retain(|_| {
+        let k = keep[idx];
+        idx += 1;
+        k
+    });
+    itemsets
+}
+
+/// Mines the closed frequent itemsets directly (Eclat + closure filter).
+pub fn closed_itemsets(db: &TransactionDb, min_support: u32) -> Vec<FrequentItemset> {
+    closed_only(eclat(db, min_support))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> TransactionDb {
+        // {0,1} always co-occur; {2} sometimes joins them.
+        TransactionDb::from_rows(vec![
+            vec![0, 1],
+            vec![0, 1],
+            vec![0, 1, 2],
+            vec![0, 1, 2],
+            vec![3],
+        ])
+    }
+
+    #[test]
+    fn non_closed_subsets_are_dropped() {
+        let closed = closed_itemsets(&db(), 1);
+        let has = |items: &[u32]| closed.iter().any(|f| f.items == items);
+        // {0} and {1} have support 4, same as {0,1}: not closed.
+        assert!(!has(&[0]));
+        assert!(!has(&[1]));
+        assert!(has(&[0, 1])); // support 4, no equal-support superset
+        // {2} has support 2, same as {0,1,2}: not closed.
+        assert!(!has(&[2]));
+        assert!(has(&[0, 1, 2]));
+        assert!(has(&[3]));
+    }
+
+    #[test]
+    fn closure_preserves_support_information() {
+        // Every frequent itemset's support equals the support of some
+        // closed superset — the defining property of the closed family.
+        let all = eclat(&db(), 1);
+        let closed = closed_itemsets(&db(), 1);
+        for f in &all {
+            let witness = closed.iter().any(|c| {
+                c.support == f.support
+                    && f.items.iter().all(|i| c.items.binary_search(i).is_ok())
+            });
+            assert!(witness, "no closed witness for {:?}", f.items);
+        }
+        assert!(closed.len() < all.len());
+    }
+
+    #[test]
+    fn distinct_supports_are_all_closed() {
+        // A database where every itemset has a unique support keeps all.
+        let db = TransactionDb::from_rows(vec![vec![0], vec![0, 1], vec![0, 1]]);
+        let all = eclat(&db, 1);
+        let closed = closed_itemsets(&db, 1);
+        // {1} support 2 == {0,1} support 2 -> dropped; {0} support 3 kept.
+        assert_eq!(closed.len(), all.len() - 1);
+    }
+}

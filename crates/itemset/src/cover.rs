@@ -1,0 +1,306 @@
+//! Code tables and database covering, shared by Krimp and SLIM.
+//!
+//! A model is a *code table*: a list of itemset patterns, each with a
+//! Shannon code priced by its usage in the greedy cover of the database.
+//! The description length is `L(CT, D) = L(CT|D) + L(D|CT)` exactly as in
+//! Krimp (§III of the CSPM paper summarises the framework).
+
+use cspm_mdl::StandardCodeTable;
+
+use crate::transaction::{Item, TransactionDb};
+
+/// An itemset pattern stored in a code table.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Pattern {
+    items: Vec<Item>,
+    support: u32,
+}
+
+impl Pattern {
+    /// Creates a pattern; items are sorted and deduplicated. `support` is
+    /// its support in the database (used only for ordering).
+    pub fn new(mut items: Vec<Item>, support: u32) -> Self {
+        assert!(!items.is_empty(), "patterns must be non-empty");
+        items.sort_unstable();
+        items.dedup();
+        Self { items, support }
+    }
+
+    /// Sorted items.
+    pub fn items(&self) -> &[Item] {
+        &self.items
+    }
+
+    /// Support recorded at insertion.
+    pub fn support(&self) -> u32 {
+        self.support
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Always false; patterns are non-empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Result of covering a database with a code table.
+#[derive(Debug, Clone)]
+pub struct CoverResult {
+    /// Usage count per pattern (index-aligned with the code table).
+    pub usages: Vec<u64>,
+    /// Sum of all usages.
+    pub total_usage: u64,
+    /// Per-transaction list of pattern indices used in its cover.
+    pub covers: Vec<Vec<u32>>,
+}
+
+/// Description-length breakdown in bits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DlBreakdown {
+    /// `L(CT|D)`: cost of materialising the code table.
+    pub model: f64,
+    /// `L(D|CT)`: cost of the database encoded with the table.
+    pub data: f64,
+}
+
+impl DlBreakdown {
+    /// `L(CT, D) = L(CT|D) + L(D|CT)`.
+    pub fn total(&self) -> f64 {
+        self.model + self.data
+    }
+}
+
+/// A Krimp/SLIM code table over a fixed database universe.
+///
+/// Patterns are kept in the *standard cover order*: longer first, then
+/// higher support, then lexicographically smaller. Singletons for every
+/// item are always present, guaranteeing every transaction is coverable.
+#[derive(Debug, Clone)]
+pub struct CodeTable {
+    patterns: Vec<Pattern>,
+    st: StandardCodeTable,
+    n_items: usize,
+}
+
+impl CodeTable {
+    /// Builds the initial table containing only singletons — the standard
+    /// code table state.
+    pub fn singletons(db: &TransactionDb) -> Self {
+        let counts = db.item_counts();
+        let st = StandardCodeTable::from_counts(counts.clone());
+        let mut patterns: Vec<Pattern> = counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| Pattern::new(vec![i as Item], c as u32))
+            .collect();
+        sort_cover_order(&mut patterns);
+        Self { patterns, st, n_items: db.n_items() }
+    }
+
+    /// The standard code table used to price materialised patterns.
+    pub fn st(&self) -> &StandardCodeTable {
+        &self.st
+    }
+
+    /// Patterns in cover order.
+    pub fn patterns(&self) -> &[Pattern] {
+        &self.patterns
+    }
+
+    /// Number of patterns (including singletons).
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Always false: singletons are always present.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// Whether an identical itemset is already present.
+    pub fn contains(&self, items: &[Item]) -> bool {
+        self.patterns.iter().any(|p| p.items() == items)
+    }
+
+    /// Inserts `pattern` at its cover-order position; returns its index.
+    pub fn insert(&mut self, pattern: Pattern) -> usize {
+        let pos = self
+            .patterns
+            .partition_point(|p| cover_order_key(p) < cover_order_key(&pattern));
+        self.patterns.insert(pos, pattern);
+        pos
+    }
+
+    /// Removes the pattern at `idx`.
+    ///
+    /// # Panics
+    /// Panics if the pattern is a singleton (those must stay).
+    pub fn remove(&mut self, idx: usize) -> Pattern {
+        assert!(self.patterns[idx].len() > 1, "singletons cannot be removed");
+        self.patterns.remove(idx)
+    }
+
+    /// Greedily covers every transaction: patterns are tried in cover
+    /// order and used when all their items are present and still
+    /// uncovered (Krimp's no-overlap cover).
+    pub fn cover(&self, db: &TransactionDb) -> CoverResult {
+        let mut usages = vec![0u64; self.patterns.len()];
+        let mut covers = Vec::with_capacity(db.len());
+        // Scratch: 0 = absent, 1 = present & uncovered, 2 = covered.
+        let mut state = vec![0u8; self.n_items];
+        for t in db.iter() {
+            for &i in t {
+                state[i as usize] = 1;
+            }
+            let mut remaining = t.len();
+            let mut used = Vec::new();
+            for (idx, p) in self.patterns.iter().enumerate() {
+                if remaining == 0 {
+                    break;
+                }
+                if p.len() > remaining {
+                    continue;
+                }
+                if p.items().iter().all(|&i| state[i as usize] == 1) {
+                    for &i in p.items() {
+                        state[i as usize] = 2;
+                    }
+                    remaining -= p.len();
+                    usages[idx] += 1;
+                    used.push(idx as u32);
+                }
+            }
+            debug_assert_eq!(remaining, 0, "singletons guarantee a full cover");
+            for &i in t {
+                state[i as usize] = 0;
+            }
+            covers.push(used);
+        }
+        let total_usage = usages.iter().sum();
+        CoverResult { usages, total_usage, covers }
+    }
+
+    /// Description length given a cover of the database.
+    ///
+    /// * `L(D|CT) = Σ_p usage_p · (-log2(usage_p / s))`;
+    /// * `L(CT|D) = Σ_{p: usage>0} (Σ_{i∈p} L_ST(i)) + (-log2(usage_p / s))`
+    ///   — each in-use pattern is materialised with ST codes on the left
+    ///   and its own code on the right (unused patterns cost nothing and
+    ///   are pruned on the fly).
+    pub fn description_length(&self, cover: &CoverResult) -> DlBreakdown {
+        let s = cover.total_usage as f64;
+        let mut model = 0.0;
+        let mut data = 0.0;
+        for (p, &u) in self.patterns.iter().zip(&cover.usages) {
+            if u == 0 {
+                continue;
+            }
+            let code = -((u as f64 / s).log2());
+            data += u as f64 * code;
+            model += self.st.set_cost(p.items().iter().map(|&i| i as usize)) + code;
+        }
+        DlBreakdown { model, data }
+    }
+
+    /// Convenience: cover then compute the description length.
+    pub fn evaluate(&self, db: &TransactionDb) -> (CoverResult, DlBreakdown) {
+        let cover = self.cover(db);
+        let dl = self.description_length(&cover);
+        (cover, dl)
+    }
+}
+
+fn cover_order_key(p: &Pattern) -> (std::cmp::Reverse<usize>, std::cmp::Reverse<u32>, Vec<Item>) {
+    (std::cmp::Reverse(p.len()), std::cmp::Reverse(p.support()), p.items().to_vec())
+}
+
+fn sort_cover_order(patterns: &mut [Pattern]) {
+    patterns.sort_by_key(cover_order_key);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> TransactionDb {
+        TransactionDb::from_rows(vec![
+            vec![0, 1],
+            vec![0, 1],
+            vec![0, 1, 2],
+            vec![2],
+        ])
+    }
+
+    #[test]
+    fn singleton_table_covers_each_item_individually() {
+        let db = db();
+        let ct = CodeTable::singletons(&db);
+        let (cover, dl) = ct.evaluate(&db);
+        assert_eq!(cover.total_usage, db.total_incidences());
+        // Data cost with singletons equals the ST baseline cost.
+        assert!((dl.data - ct.st().baseline_data_cost()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adding_a_shared_pattern_reduces_dl() {
+        let db = db();
+        let mut ct = CodeTable::singletons(&db);
+        let (_, before) = ct.evaluate(&db);
+        ct.insert(Pattern::new(vec![0, 1], 3));
+        let (cover, after) = ct.evaluate(&db);
+        assert!(after.total() < before.total());
+        // The pair is used three times; singletons 0 and 1 fall to zero.
+        let pair_idx = ct.patterns().iter().position(|p| p.items() == [0, 1]).unwrap();
+        assert_eq!(cover.usages[pair_idx], 3);
+    }
+
+    #[test]
+    fn cover_is_lossless_partition() {
+        let db = db();
+        let mut ct = CodeTable::singletons(&db);
+        ct.insert(Pattern::new(vec![0, 1], 3));
+        let cover = ct.cover(&db);
+        for (t, used) in db.iter().zip(&cover.covers) {
+            let mut reconstructed: Vec<Item> = used
+                .iter()
+                .flat_map(|&idx| ct.patterns()[idx as usize].items().iter().copied())
+                .collect();
+            reconstructed.sort_unstable();
+            assert_eq!(reconstructed, t, "cover must reproduce the transaction exactly");
+        }
+    }
+
+    #[test]
+    fn cover_order_prefers_longer_then_more_frequent() {
+        let mut patterns = vec![
+            Pattern::new(vec![3], 9),
+            Pattern::new(vec![0, 1], 2),
+            Pattern::new(vec![0, 1, 2], 1),
+            Pattern::new(vec![0, 2], 5),
+        ];
+        sort_cover_order(&mut patterns);
+        let lens: Vec<usize> = patterns.iter().map(Pattern::len).collect();
+        assert_eq!(lens, vec![3, 2, 2, 1]);
+        assert_eq!(patterns[1].items(), &[0, 2]); // support 5 beats support 2
+    }
+
+    #[test]
+    #[should_panic(expected = "singletons cannot be removed")]
+    fn singleton_removal_is_refused() {
+        let db = db();
+        let mut ct = CodeTable::singletons(&db);
+        ct.remove(0);
+    }
+
+    #[test]
+    fn insert_keeps_order() {
+        let db = db();
+        let mut ct = CodeTable::singletons(&db);
+        let idx = ct.insert(Pattern::new(vec![0, 2], 1));
+        assert_eq!(idx, 0, "longest pattern sorts first");
+    }
+}

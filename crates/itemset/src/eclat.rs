@@ -1,0 +1,158 @@
+//! Eclat frequent-itemset mining (vertical tid-list intersection).
+//!
+//! Krimp requires a pre-mined candidate collection; Eclat is the
+//! classical choice for dense ids and moderate database sizes.
+
+use crate::transaction::{Item, TransactionDb};
+
+/// A frequent itemset with its support (number of containing
+/// transactions).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrequentItemset {
+    /// Sorted items.
+    pub items: Vec<Item>,
+    /// Number of transactions containing all the items.
+    pub support: u32,
+}
+
+/// Mines all itemsets with `support >= min_support` (absolute count,
+/// ≥ 1). Returns itemsets of every length, including singletons.
+///
+/// Depth-first Eclat: each recursion extends a prefix with items larger
+/// than the last, intersecting tid-lists.
+pub fn eclat(db: &TransactionDb, min_support: u32) -> Vec<FrequentItemset> {
+    assert!(min_support >= 1, "support threshold must be at least 1");
+    // Vertical layout: tid lists per item.
+    let mut tids: Vec<Vec<u32>> = vec![Vec::new(); db.n_items()];
+    for (t, row) in db.iter().enumerate() {
+        for &i in row {
+            tids[i as usize].push(t as u32);
+        }
+    }
+    let frequent: Vec<(Item, Vec<u32>)> = tids
+        .into_iter()
+        .enumerate()
+        .filter(|(_, t)| t.len() >= min_support as usize)
+        .map(|(i, t)| (i as Item, t))
+        .collect();
+
+    let mut out = Vec::new();
+    // Singletons first.
+    for (item, t) in &frequent {
+        out.push(FrequentItemset { items: vec![*item], support: t.len() as u32 });
+    }
+    // Depth-first extension.
+    for (idx, (item, t)) in frequent.iter().enumerate() {
+        extend(&mut vec![*item], t, &frequent[idx + 1..], min_support, &mut out);
+    }
+    out
+}
+
+fn extend(
+    prefix: &mut Vec<Item>,
+    prefix_tids: &[u32],
+    rest: &[(Item, Vec<u32>)],
+    min_support: u32,
+    out: &mut Vec<FrequentItemset>,
+) {
+    for (idx, (item, t)) in rest.iter().enumerate() {
+        let joint = intersect(prefix_tids, t);
+        if joint.len() >= min_support as usize {
+            prefix.push(*item);
+            out.push(FrequentItemset { items: prefix.clone(), support: joint.len() as u32 });
+            extend(prefix, &joint, &rest[idx + 1..], min_support, out);
+            prefix.pop();
+        }
+    }
+}
+
+/// Intersection of two sorted tid lists.
+fn intersect(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn toy_db() -> TransactionDb {
+        TransactionDb::from_rows(vec![
+            vec![0, 1, 2],
+            vec![0, 1],
+            vec![0, 2],
+            vec![1, 2],
+            vec![0, 1, 2],
+        ])
+    }
+
+    /// Brute-force reference: enumerate all subsets of the item universe.
+    fn brute_force(db: &TransactionDb, min_support: u32) -> BTreeSet<(Vec<Item>, u32)> {
+        let n = db.n_items();
+        let mut out = BTreeSet::new();
+        for mask in 1u32..(1 << n) {
+            let items: Vec<Item> = (0..n as u32).filter(|i| mask & (1 << i) != 0).collect();
+            let support = db
+                .iter()
+                .filter(|t| items.iter().all(|i| t.binary_search(i).is_ok()))
+                .count() as u32;
+            if support >= min_support {
+                out.insert((items, support));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        let db = toy_db();
+        for min_support in 1..=5 {
+            let got: BTreeSet<_> = eclat(&db, min_support)
+                .into_iter()
+                .map(|f| (f.items, f.support))
+                .collect();
+            assert_eq!(got, brute_force(&db, min_support), "minsup={min_support}");
+        }
+    }
+
+    #[test]
+    fn known_supports() {
+        let db = toy_db();
+        let found = eclat(&db, 3);
+        let get = |items: &[Item]| {
+            found
+                .iter()
+                .find(|f| f.items == items)
+                .map(|f| f.support)
+        };
+        assert_eq!(get(&[0]), Some(4));
+        assert_eq!(get(&[0, 1]), Some(3));
+        assert_eq!(get(&[0, 1, 2]), None); // support 2 < 3
+    }
+
+    #[test]
+    fn empty_db_yields_nothing() {
+        let db = TransactionDb::from_rows(vec![]);
+        assert!(eclat(&db, 1).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_support_rejected() {
+        let db = toy_db();
+        let _ = eclat(&db, 0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Transaction databases (binary tables) for Krimp and SLIM.
+
+/// Dense item identifier.
+pub type Item = u32;
+
+/// A transaction database: a bag of transactions, each a sorted,
+/// deduplicated set of items with ids in `0..n_items`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransactionDb {
+    transactions: Vec<Vec<Item>>,
+    n_items: usize,
+}
+
+impl TransactionDb {
+    /// Builds a database from rows; rows are sorted and deduplicated,
+    /// `n_items` is inferred as `max item + 1`.
+    pub fn from_rows(rows: Vec<Vec<Item>>) -> Self {
+        let mut transactions = rows;
+        let mut n_items = 0usize;
+        for t in &mut transactions {
+            t.sort_unstable();
+            t.dedup();
+            if let Some(&m) = t.last() {
+                n_items = n_items.max(m as usize + 1);
+            }
+        }
+        Self { transactions, n_items }
+    }
+
+    /// Builds a database with an explicit item universe size (useful when
+    /// some items never occur).
+    pub fn with_item_universe(rows: Vec<Vec<Item>>, n_items: usize) -> Self {
+        let mut db = Self::from_rows(rows);
+        assert!(db.n_items <= n_items, "row references item outside universe");
+        db.n_items = n_items;
+        db
+    }
+
+    /// Number of transactions.
+    pub fn len(&self) -> usize {
+        self.transactions.len()
+    }
+
+    /// Whether the database has no transactions.
+    pub fn is_empty(&self) -> bool {
+        self.transactions.is_empty()
+    }
+
+    /// Size of the item universe.
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// The `i`-th transaction (sorted items).
+    pub fn transaction(&self, i: usize) -> &[Item] {
+        &self.transactions[i]
+    }
+
+    /// Iterates over all transactions.
+    pub fn iter(&self) -> impl Iterator<Item = &[Item]> {
+        self.transactions.iter().map(Vec::as_slice)
+    }
+
+    /// Per-item occurrence counts (supports of singletons).
+    pub fn item_counts(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.n_items];
+        for t in &self.transactions {
+            for &i in t {
+                counts[i as usize] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Total number of `(transaction, item)` incidences.
+    pub fn total_incidences(&self) -> u64 {
+        self.transactions.iter().map(|t| t.len() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_are_normalised() {
+        let db = TransactionDb::from_rows(vec![vec![2, 0, 2], vec![1]]);
+        assert_eq!(db.transaction(0), &[0, 2]);
+        assert_eq!(db.n_items(), 3);
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.total_incidences(), 3);
+    }
+
+    #[test]
+    fn item_counts_are_supports() {
+        let db = TransactionDb::from_rows(vec![vec![0, 1], vec![0], vec![1, 2]]);
+        assert_eq!(db.item_counts(), vec![2, 2, 1]);
+    }
+
+    #[test]
+    fn explicit_universe() {
+        let db = TransactionDb::with_item_universe(vec![vec![0]], 5);
+        assert_eq!(db.n_items(), 5);
+        assert_eq!(db.item_counts(), vec![1, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn universe_must_cover_rows() {
+        let _ = TransactionDb::with_item_universe(vec![vec![7]], 3);
+    }
+}

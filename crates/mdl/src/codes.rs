@@ -1,0 +1,107 @@
+//! Elementary code-length functions.
+
+/// `x · log2 x` with the information-theoretic convention `0 · log 0 = 0`.
+///
+/// This is the workhorse of the gain equations (Eq. 8–15), which are sums
+/// and differences of `f log f` terms.
+#[inline]
+pub fn xlog2x(x: f64) -> f64 {
+    if x <= 0.0 {
+        0.0
+    } else {
+        x * x.log2()
+    }
+}
+
+/// `log2 x`, panicking on non-positive input (a misuse, not a data case).
+#[inline]
+pub fn log2_checked(x: f64) -> f64 {
+    assert!(x > 0.0, "log2 of non-positive value {x}");
+    x.log2()
+}
+
+/// Shannon-optimal code length `-log2(count/total)` in bits (Eq. 5).
+///
+/// Returns `f64::INFINITY` when `count == 0` (an item that never occurs
+/// has no code), and panics when `total == 0`.
+#[inline]
+pub fn shannon_len(count: u64, total: u64) -> f64 {
+    assert!(total > 0, "cannot take code length over an empty universe");
+    if count == 0 {
+        return f64::INFINITY;
+    }
+    debug_assert!(count <= total);
+    -((count as f64 / total as f64).log2())
+}
+
+/// Rissanen's universal code length for an integer `n ≥ 1`:
+/// `L_N(n) = log2(c0) + log2 n + log2 log2 n + …` summing positive terms,
+/// with `c0 ≈ 2.865064`.
+///
+/// Krimp uses this code to price integer components of a model. It grows
+/// like `log2 n`, so larger models cost more.
+pub fn universal_int_len(n: u64) -> f64 {
+    assert!(n >= 1, "universal code is defined for n >= 1");
+    const LOG2_C0: f64 = 1.5185889; // log2(2.865064)
+    let mut total = LOG2_C0;
+    let mut x = (n as f64).log2();
+    while x > 0.0 {
+        total += x;
+        x = x.log2();
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xlog2x_convention() {
+        assert_eq!(xlog2x(0.0), 0.0);
+        assert_eq!(xlog2x(-1.0), 0.0);
+        assert!((xlog2x(8.0) - 24.0).abs() < 1e-12);
+        assert_eq!(xlog2x(1.0), 0.0);
+    }
+
+    #[test]
+    fn shannon_basics() {
+        // Uniform: P = 1/4 -> 2 bits.
+        assert!((shannon_len(1, 4) - 2.0).abs() < 1e-12);
+        // Certain event: 0 bits.
+        assert_eq!(shannon_len(8, 8), 0.0);
+        // Never occurring: infinite.
+        assert!(shannon_len(0, 5).is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty universe")]
+    fn shannon_rejects_zero_total() {
+        let _ = shannon_len(1, 0);
+    }
+
+    #[test]
+    fn universal_code_is_monotone() {
+        let mut prev = 0.0;
+        for n in 1..2000u64 {
+            let len = universal_int_len(n);
+            assert!(len >= prev - 1e-12, "L_N must be non-decreasing at n={n}");
+            assert!(len.is_finite());
+            prev = len;
+        }
+    }
+
+    #[test]
+    fn universal_code_known_values() {
+        // L_N(1) = log2 c0 (all further terms are non-positive).
+        assert!((universal_int_len(1) - 1.5185889).abs() < 1e-6);
+        // L_N(2) adds log2 2 = 1.
+        assert!((universal_int_len(2) - 2.5185889).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "log2 of non-positive")]
+    fn log2_checked_rejects_zero() {
+        let _ = log2_checked(0.0);
+    }
+}

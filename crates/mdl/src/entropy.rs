@@ -1,0 +1,116 @@
+//! Entropy and conditional entropy (Eq. 6–7 of the paper).
+
+use crate::codes::xlog2x;
+
+/// Shannon entropy of a probability distribution, in bits.
+///
+/// # Panics
+/// Panics (debug) if the distribution does not sum to ≈1.
+pub fn entropy(probs: &[f64]) -> f64 {
+    debug_assert!(
+        (probs.iter().sum::<f64>() - 1.0).abs() < 1e-9,
+        "probabilities must sum to 1"
+    );
+    -probs.iter().copied().map(xlog2x).sum::<f64>()
+}
+
+/// Shannon entropy of raw counts (normalised internally).
+///
+/// Returns 0 for an all-zero or empty slice.
+pub fn entropy_of_counts(counts: &[u64]) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let t = total as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / t;
+            -xlog2x(p)
+        })
+        .sum()
+}
+
+/// Conditional entropy `H(Y|X)` from a joint count table (Eq. 7):
+/// `rows[j][i]` is the joint frequency `l_ij` of the `i`-th value of `Y`
+/// with the `j`-th value of `X`. In the paper's terms each outer entry is
+/// one coreset, each inner entry one a-star line.
+///
+/// `H(Y|X) = -Σ_j Σ_i (l_ij / s) · log2(l_ij / c_j)` with
+/// `c_j = Σ_i l_ij` and `s = Σ_j c_j`.
+pub fn conditional_entropy(rows: &[Vec<u64>]) -> f64 {
+    let s: u64 = rows.iter().flat_map(|r| r.iter()).sum();
+    if s == 0 {
+        return 0.0;
+    }
+    let s = s as f64;
+    let mut h = 0.0;
+    for row in rows {
+        let cj: u64 = row.iter().sum();
+        if cj == 0 {
+            continue;
+        }
+        let cj = cj as f64;
+        for &lij in row.iter().filter(|&&l| l > 0) {
+            let lij = lij as f64;
+            h -= (lij / s) * (lij / cj).log2();
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entropy_uniform_and_point() {
+        assert!((entropy(&[0.25; 4]) - 2.0).abs() < 1e-12);
+        assert!(entropy(&[1.0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_of_counts_matches_entropy() {
+        let counts = [3u64, 1];
+        let h1 = entropy_of_counts(&counts);
+        let h2 = entropy(&[0.75, 0.25]);
+        assert!((h1 - h2).abs() < 1e-12);
+        assert_eq!(entropy_of_counts(&[]), 0.0);
+        assert_eq!(entropy_of_counts(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn conditional_entropy_of_deterministic_map_is_zero() {
+        // Each X value has exactly one Y value: H(Y|X) = 0.
+        let rows = vec![vec![5], vec![3]];
+        assert!(conditional_entropy(&rows).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conditional_entropy_of_independent_uniform() {
+        // Two X values, each with a uniform 2-way Y: H(Y|X) = 1 bit.
+        let rows = vec![vec![2, 2], vec![4, 4]];
+        assert!((conditional_entropy(&rows) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conditional_entropy_never_exceeds_marginal_entropy() {
+        // H(Y|X) <= H(Y) for arbitrary tables (data-processing sanity).
+        let rows = vec![vec![3, 1, 0], vec![0, 2, 2], vec![1, 1, 1]];
+        let mut y_marginal = vec![0u64; 3];
+        for row in &rows {
+            for (i, &l) in row.iter().enumerate() {
+                y_marginal[i] += l;
+            }
+        }
+        assert!(conditional_entropy(&rows) <= entropy_of_counts(&y_marginal) + 1e-12);
+    }
+
+    #[test]
+    fn conditional_entropy_ignores_empty_rows() {
+        let rows = vec![vec![0, 0], vec![2, 2]];
+        assert!((conditional_entropy(&rows) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,23 @@
+//! MDL (Minimum Description Length) substrate for the CSPM reproduction.
+//!
+//! This crate provides the coding machinery shared by Krimp, SLIM and
+//! CSPM (§III "Compressing Patterns" and §IV-C/D of the paper):
+//!
+//! * Shannon-optimal code lengths `L(X) = -log2 P(X)`;
+//! * the standard code table `ST` built from item frequencies;
+//! * Rissanen's universal code for integers `L_N(n)` (used to price
+//!   integer components of models, as in Krimp);
+//! * entropy and conditional entropy helpers (Eq. 7);
+//! * exact description-length bookkeeping with `0·log 0 = 0`.
+//!
+//! All code lengths are in bits (base-2 logarithms), represented as `f64`.
+//! No actual encoding takes place — as the paper notes, "only the code
+//! length of each pattern is necessary".
+
+mod codes;
+mod entropy;
+mod table;
+
+pub use codes::{log2_checked, shannon_len, universal_int_len, xlog2x};
+pub use entropy::{conditional_entropy, entropy, entropy_of_counts};
+pub use table::StandardCodeTable;

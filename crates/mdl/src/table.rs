@@ -1,0 +1,119 @@
+//! The standard code table `ST` (§III, §IV-C).
+
+use crate::codes::shannon_len;
+
+/// Standard code table: Shannon-optimal code lengths for single items
+/// derived from their global occurrence frequencies.
+///
+/// Items are dense `usize` ids (attribute values in CSPM, items in
+/// Krimp/SLIM). The paper: "the standard code table is the optimal
+/// encoding of all attributes without labels and structure information";
+/// it also prices the *materialised* patterns stored inside code tables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StandardCodeTable {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl StandardCodeTable {
+    /// Builds the table from per-item occurrence counts.
+    pub fn from_counts(counts: Vec<u64>) -> Self {
+        let total = counts.iter().sum();
+        Self { counts, total }
+    }
+
+    /// Builds the table by counting item occurrences in a stream.
+    pub fn from_occurrences<I: IntoIterator<Item = usize>>(n_items: usize, occurrences: I) -> Self {
+        let mut counts = vec![0u64; n_items];
+        for item in occurrences {
+            counts[item] += 1;
+        }
+        Self::from_counts(counts)
+    }
+
+    /// Number of items (the table covers ids `0..len`).
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Occurrence count of `item`.
+    pub fn count(&self, item: usize) -> u64 {
+        self.counts[item]
+    }
+
+    /// Total occurrence count over all items.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Shannon code length of `item` in bits: `-log2(count/total)`
+    /// (Eq. 5). Infinite for items that never occur.
+    pub fn code_len(&self, item: usize) -> f64 {
+        shannon_len(self.counts[item], self.total)
+    }
+
+    /// Sum of code lengths of a set of items — the ST cost of
+    /// materialising that set inside a code table.
+    pub fn set_cost<I: IntoIterator<Item = usize>>(&self, items: I) -> f64 {
+        items.into_iter().map(|i| self.code_len(i)).sum()
+    }
+
+    /// Cost of encoding the whole data stream with `ST` alone:
+    /// `Σ_i count_i · L(i)`. This is the baseline description length
+    /// `L(D|ST)` against which compression is measured.
+    pub fn baseline_data_cost(&self) -> f64 {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| c as f64 * self.code_len(i))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_lengths_follow_frequencies() {
+        // counts: a=3, b=2, c=2 → total 7 (the paper-example mapping table).
+        let st = StandardCodeTable::from_counts(vec![3, 2, 2]);
+        assert_eq!(st.total(), 7);
+        assert!((st.code_len(0) - (7f64 / 3f64).log2()).abs() < 1e-12);
+        assert!(st.code_len(0) < st.code_len(1));
+        assert_eq!(st.code_len(1), st.code_len(2));
+    }
+
+    #[test]
+    fn from_occurrences_counts() {
+        let st = StandardCodeTable::from_occurrences(3, [0, 0, 1, 2, 0, 1]);
+        assert_eq!(st.count(0), 3);
+        assert_eq!(st.count(1), 2);
+        assert_eq!(st.count(2), 1);
+    }
+
+    #[test]
+    fn set_cost_is_additive() {
+        let st = StandardCodeTable::from_counts(vec![4, 4]);
+        assert!((st.set_cost([0, 1]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn baseline_cost_equals_total_times_entropy() {
+        let st = StandardCodeTable::from_counts(vec![2, 2, 4]);
+        let h = crate::entropy_of_counts(&[2, 2, 4]);
+        assert!((st.baseline_data_cost() - 8.0 * h).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_count_item_has_infinite_code() {
+        let st = StandardCodeTable::from_counts(vec![1, 0]);
+        assert!(st.code_len(1).is_infinite());
+    }
+}

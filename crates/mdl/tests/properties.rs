@@ -1,0 +1,82 @@
+//! Property-based tests of the coding-theory identities the mining core
+//! relies on.
+
+use cspm_mdl::{
+    conditional_entropy, entropy_of_counts, shannon_len, universal_int_len, xlog2x,
+    StandardCodeTable,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// 0 ≤ H(counts) ≤ log2(#nonzero outcomes).
+    #[test]
+    fn entropy_bounds(counts in proptest::collection::vec(0u64..1000, 1..32)) {
+        let h = entropy_of_counts(&counts);
+        prop_assert!(h >= -1e-12);
+        let support = counts.iter().filter(|&&c| c > 0).count();
+        if support > 0 {
+            prop_assert!(h <= (support as f64).log2() + 1e-9);
+        } else {
+            prop_assert_eq!(h, 0.0);
+        }
+    }
+
+    /// The ST baseline cost is exactly `total · H` — the Shannon source
+    /// coding identity the compression ratios are measured against.
+    #[test]
+    fn baseline_cost_identity(counts in proptest::collection::vec(0u64..500, 1..24)) {
+        let total: u64 = counts.iter().sum();
+        prop_assume!(total > 0);
+        let st = StandardCodeTable::from_counts(counts.clone());
+        let h = entropy_of_counts(&counts);
+        prop_assert!((st.baseline_data_cost() - total as f64 * h).abs() < 1e-6);
+    }
+
+    /// Code lengths are antitone in counts: more frequent = shorter.
+    #[test]
+    fn shannon_len_is_antitone(a in 1u64..1000, b in 1u64..1000, extra in 0u64..1000) {
+        let total = a + b + extra;
+        let (la, lb) = (shannon_len(a, total), shannon_len(b, total));
+        if a >= b {
+            prop_assert!(la <= lb + 1e-12);
+        } else {
+            prop_assert!(la >= lb - 1e-12);
+        }
+    }
+
+    /// H(Y|X) ≤ H(Y): conditioning never increases entropy.
+    #[test]
+    fn conditioning_reduces_entropy(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(0u64..50, 4),
+            1..8,
+        ),
+    ) {
+        let mut y_marginal = vec![0u64; 4];
+        for row in &rows {
+            for (i, &c) in row.iter().enumerate() {
+                y_marginal[i] += c;
+            }
+        }
+        prop_assert!(conditional_entropy(&rows) <= entropy_of_counts(&y_marginal) + 1e-9);
+    }
+
+    /// `xlog2x` is superadditive on merges: merging two positive masses
+    /// increases Σ x·log2 x (the mechanism behind Eq. 13's positive
+    /// gain for totally-merged rows).
+    #[test]
+    fn xlog2x_superadditive(a in 1u64..10_000, b in 1u64..10_000) {
+        let (a, b) = (a as f64, b as f64);
+        prop_assert!(xlog2x(a + b) >= xlog2x(a) + xlog2x(b) - 1e-9);
+    }
+
+    /// The universal integer code is monotone and grows like log2.
+    #[test]
+    fn universal_code_growth(n in 1u64..1_000_000) {
+        let l = universal_int_len(n);
+        prop_assert!(l >= universal_int_len(1) - 1e-12);
+        prop_assert!(l >= (n as f64).log2());
+        // Loose upper bound: log2 n + O(log log n) + c0.
+        prop_assert!(l <= (n as f64).log2() + 2.0 * ((n as f64).log2() + 2.0).log2().max(0.0) + 4.0);
+    }
+}

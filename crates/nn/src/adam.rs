@@ -1,0 +1,63 @@
+//! The Adam optimiser (Kingma & Ba, 2015).
+
+/// Adam state for one flat parameter buffer.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    t: u64,
+    m: Vec<f64>,
+    v: Vec<f64>,
+}
+
+impl Adam {
+    /// Creates an optimiser for `n` parameters with learning rate `lr`
+    /// and the standard betas (0.9, 0.999).
+    pub fn new(n: usize, lr: f64) -> Self {
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: vec![0.0; n], v: vec![0.0; n] }
+    }
+
+    /// Applies one update step: `params -= lr · m̂ / (√v̂ + ε)`.
+    pub fn step(&mut self, params: &mut [f64], grads: &[f64]) {
+        assert_eq!(params.len(), self.m.len());
+        assert_eq!(grads.len(), self.m.len());
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * grads[i];
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * grads[i] * grads[i];
+            let mhat = self.m[i] / b1t;
+            let vhat = self.v[i] / b2t;
+            params[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimises_a_quadratic() {
+        // f(x) = (x-3)², f'(x) = 2(x-3).
+        let mut x = vec![0.0];
+        let mut opt = Adam::new(1, 0.1);
+        for _ in 0..500 {
+            let g = vec![2.0 * (x[0] - 3.0)];
+            opt.step(&mut x, &g);
+        }
+        assert!((x[0] - 3.0).abs() < 1e-3, "x = {}", x[0]);
+    }
+
+    #[test]
+    fn first_step_moves_by_about_lr() {
+        let mut x = vec![0.0];
+        let mut opt = Adam::new(1, 0.01);
+        opt.step(&mut x, &[5.0]);
+        // Adam's first step is ≈ lr regardless of gradient magnitude.
+        assert!((x[0] + 0.01).abs() < 1e-6);
+    }
+}

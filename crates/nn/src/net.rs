@@ -1,0 +1,278 @@
+//! Two-layer propagation network — the shared skeleton of the
+//! completion baselines.
+//!
+//! Forward pass:
+//!
+//! ```text
+//! H = ρ(P₁·X·W₁ + b₁)        ρ = ReLU
+//! Y = σ(P₂·H·W₂ + b₂)        σ = logistic
+//! ```
+//!
+//! `P₁`/`P₂` are optional sparse propagation operators; identity when
+//! absent. Trained with masked binary cross-entropy (only rows flagged in
+//! the training mask contribute) and Adam, using exact backpropagation.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::adam::Adam;
+use crate::matrix::Matrix;
+use crate::sigmoid;
+use crate::sparse::SparseMatrix;
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct NetConfig {
+    /// Hidden layer width.
+    pub hidden: usize,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// Training epochs (full-batch).
+    pub epochs: usize,
+    /// Weight-initialisation seed.
+    pub seed: u64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self { hidden: 32, lr: 0.01, epochs: 120, seed: 17 }
+    }
+}
+
+/// The two-layer network with its parameters.
+#[derive(Debug, Clone)]
+pub struct TwoLayerNet {
+    w1: Matrix,
+    b1: Vec<f64>,
+    w2: Matrix,
+    b2: Vec<f64>,
+}
+
+impl TwoLayerNet {
+    /// Fresh Xavier-initialised network.
+    pub fn new(in_dim: usize, hidden: usize, out_dim: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Self {
+            w1: Matrix::xavier(in_dim, hidden, &mut rng),
+            b1: vec![0.0; hidden],
+            w2: Matrix::xavier(hidden, out_dim, &mut rng),
+            b2: vec![0.0; out_dim],
+        }
+    }
+
+    fn apply_prop<'a>(p: Option<&SparseMatrix>, x: &'a Matrix) -> std::borrow::Cow<'a, Matrix> {
+        match p {
+            Some(p) => std::borrow::Cow::Owned(p.spmm(x)),
+            None => std::borrow::Cow::Borrowed(x),
+        }
+    }
+
+    /// Forward pass returning output probabilities.
+    pub fn forward(
+        &self,
+        x: &Matrix,
+        p1: Option<&SparseMatrix>,
+        p2: Option<&SparseMatrix>,
+    ) -> Matrix {
+        let (_, _, y) = self.forward_cached(x, p1, p2);
+        y
+    }
+
+    /// Forward pass keeping the intermediates needed by backprop:
+    /// `(P₁X, H, Y)`.
+    fn forward_cached(
+        &self,
+        x: &Matrix,
+        p1: Option<&SparseMatrix>,
+        p2: Option<&SparseMatrix>,
+    ) -> (Matrix, Matrix, Matrix) {
+        let px = Self::apply_prop(p1, x).into_owned();
+        let mut hpre = px.matmul(&self.w1);
+        hpre.add_row_broadcast(&self.b1);
+        let h = hpre.map(crate::relu);
+        let ph = Self::apply_prop(p2, &h).into_owned();
+        let mut ypre = ph.matmul(&self.w2);
+        ypre.add_row_broadcast(&self.b2);
+        let y = ypre.map(sigmoid);
+        (px, h, y)
+    }
+
+    /// Masked mean BCE loss of the current parameters.
+    pub fn loss(
+        &self,
+        x: &Matrix,
+        targets: &Matrix,
+        mask: &[bool],
+        p1: Option<&SparseMatrix>,
+        p2: Option<&SparseMatrix>,
+    ) -> f64 {
+        let y = self.forward(x, p1, p2);
+        masked_bce(&y, targets, mask)
+    }
+
+    /// Trains with full-batch Adam; returns the per-epoch loss trace.
+    pub fn fit(
+        &mut self,
+        x: &Matrix,
+        targets: &Matrix,
+        mask: &[bool],
+        p1: Option<&SparseMatrix>,
+        p2: Option<&SparseMatrix>,
+        cfg: &NetConfig,
+    ) -> Vec<f64> {
+        assert_eq!(mask.len(), x.rows());
+        let n_masked = mask.iter().filter(|&&m| m).count().max(1);
+        let denom = (n_masked * targets.cols()) as f64;
+        let mut opt_w1 = Adam::new(self.w1.data().len(), cfg.lr);
+        let mut opt_b1 = Adam::new(self.b1.len(), cfg.lr);
+        let mut opt_w2 = Adam::new(self.w2.data().len(), cfg.lr);
+        let mut opt_b2 = Adam::new(self.b2.len(), cfg.lr);
+        let mut trace = Vec::with_capacity(cfg.epochs);
+
+        for _ in 0..cfg.epochs {
+            let (px, h, y) = self.forward_cached(x, p1, p2);
+            trace.push(masked_bce(&y, targets, mask));
+
+            // dL/dY_pre = (Y − T) masked, / (|mask|·C).
+            let mut g2 = Matrix::zeros(y.rows(), y.cols());
+            #[allow(clippy::needless_range_loop)] // r indexes y, targets and g2 jointly
+            for r in 0..y.rows() {
+                if !mask[r] {
+                    continue;
+                }
+                let (yr, tr) = (y.row(r), targets.row(r));
+                let gr = g2.row_mut(r);
+                for c in 0..yr.len() {
+                    gr[c] = (yr[c] - tr[c]) / denom;
+                }
+            }
+            let ph = Self::apply_prop(p2, &h).into_owned();
+            let dw2 = ph.transpose().matmul(&g2);
+            let db2 = g2.col_sums();
+            // dH = P₂ᵀ(G₂·W₂ᵀ), gated by ReLU'.
+            let gh = g2.matmul(&self.w2.transpose());
+            let gh = match p2 {
+                Some(p) => p.spmm_transposed(&gh),
+                None => gh,
+            };
+            let dhpre = gh.hadamard(&h.map(|v| if v > 0.0 { 1.0 } else { 0.0 }));
+            let dw1 = px.transpose().matmul(&dhpre);
+            let db1 = dhpre.col_sums();
+
+            opt_w1.step(self.w1.data_mut(), dw1.data());
+            opt_b1.step(&mut self.b1, &db1);
+            opt_w2.step(self.w2.data_mut(), dw2.data());
+            opt_b2.step(&mut self.b2, &db2);
+        }
+        trace
+    }
+}
+
+fn masked_bce(y: &Matrix, targets: &Matrix, mask: &[bool]) -> f64 {
+    let eps = 1e-12;
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    #[allow(clippy::needless_range_loop)] // r indexes y, targets and mask jointly
+    for r in 0..y.rows() {
+        if !mask[r] {
+            continue;
+        }
+        n += 1;
+        for (p, t) in y.row(r).iter().zip(targets.row(r)) {
+            let p = p.clamp(eps, 1.0 - eps);
+            sum -= t * p.ln() + (1.0 - t) * (1.0 - p).ln();
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / (n * y.cols()) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_problem() -> (Matrix, Matrix, Vec<bool>) {
+        // 4 samples, 3 features, learn identity-ish mapping to 2 outputs.
+        let x = Matrix::from_vec(
+            4,
+            3,
+            vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 0.0],
+        );
+        let t = Matrix::from_vec(4, 2, vec![1.0, 0.0, 0.0, 1.0, 0.0, 0.0, 1.0, 1.0]);
+        (x, t, vec![true; 4])
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let (x, t, mask) = toy_problem();
+        let mut net = TwoLayerNet::new(3, 8, 2, 1);
+        let trace = net.fit(&x, &t, &mask, None, None, &NetConfig { epochs: 200, ..Default::default() });
+        assert!(trace[trace.len() - 1] < trace[0] * 0.5, "trace {:?}", (&trace[0], &trace[trace.len() - 1]));
+    }
+
+    #[test]
+    fn masked_rows_do_not_train() {
+        let (x, t, _) = toy_problem();
+        let mask = vec![true, true, false, false];
+        let mut net = TwoLayerNet::new(3, 8, 2, 1);
+        net.fit(&x, &t, &mask, None, None, &NetConfig { epochs: 50, ..Default::default() });
+        // Loss on the masked rows only is not optimised, so the trained
+        // loss on observed rows should be lower.
+        let observed = net.loss(&x, &t, &mask, None, None);
+        let hidden = net.loss(&x, &t, &[false, false, true, true], None, None);
+        assert!(observed < hidden);
+    }
+
+    /// Finite-difference verification of the analytic gradients, with and
+    /// without a propagation operator.
+    #[test]
+    fn gradients_match_finite_differences() {
+        let (x, t, mask) = toy_problem();
+        let p = SparseMatrix::normalized_adjacency(&[vec![1], vec![0, 2], vec![1, 3], vec![2]], 1.0);
+        for prop in [None, Some(&p)] {
+            let mut net = TwoLayerNet::new(3, 4, 2, 2);
+            // One analytic step with tiny lr; compare direction against
+            // numeric gradient of a single parameter.
+            let base_loss = net.loss(&x, &t, &mask, prop, prop);
+            let eps = 1e-6;
+            // Numeric dL/dw1[0].
+            let orig = net.w1.get(0, 0);
+            net.w1.set(0, 0, orig + eps);
+            let plus = net.loss(&x, &t, &mask, prop, prop);
+            net.w1.set(0, 0, orig - eps);
+            let minus = net.loss(&x, &t, &mask, prop, prop);
+            net.w1.set(0, 0, orig);
+            let numeric = (plus - minus) / (2.0 * eps);
+
+            // Analytic gradient via one fit step with lr≈0 is awkward;
+            // instead recompute the same quantities the trainer uses.
+            let n_masked = mask.iter().filter(|&&m| m).count();
+            let denom = (n_masked * t.cols()) as f64;
+            let (px, h, y) = net.forward_cached(&x, prop, prop);
+            let mut g2 = Matrix::zeros(y.rows(), y.cols());
+            #[allow(clippy::needless_range_loop)] // r indexes y, targets and g2 jointly
+            for r in 0..y.rows() {
+                for c in 0..y.cols() {
+                    g2.set(r, c, (y.get(r, c) - t.get(r, c)) / denom);
+                }
+            }
+            let gh = g2.matmul(&net.w2.transpose());
+            let gh = match prop {
+                Some(p) => p.spmm_transposed(&gh),
+                None => gh,
+            };
+            let dhpre = gh.hadamard(&h.map(|v| if v > 0.0 { 1.0 } else { 0.0 }));
+            let dw1 = px.transpose().matmul(&dhpre);
+            let analytic = dw1.get(0, 0);
+            assert!(
+                (numeric - analytic).abs() < 1e-5,
+                "numeric {numeric} vs analytic {analytic} (prop={})",
+                prop.is_some()
+            );
+            let _ = base_loss;
+        }
+    }
+}

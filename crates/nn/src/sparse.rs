@@ -1,0 +1,168 @@
+//! CSR sparse matrices for graph propagation operators.
+
+use crate::matrix::Matrix;
+
+/// A compressed-sparse-row matrix used as a propagation operator
+/// (`P · X` products). Rows may be empty.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseMatrix {
+    n_rows: usize,
+    n_cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl SparseMatrix {
+    /// Builds from per-row `(col, value)` lists.
+    pub fn from_rows(n_cols: usize, rows: &[Vec<(u32, f64)>]) -> Self {
+        let mut row_ptr = Vec::with_capacity(rows.len() + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for r in rows {
+            for &(c, v) in r {
+                assert!((c as usize) < n_cols, "column out of range");
+                col_idx.push(c);
+                values.push(v);
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Self { n_rows: rows.len(), n_cols, row_ptr, col_idx, values }
+    }
+
+    /// Identity operator.
+    pub fn identity(n: usize) -> Self {
+        let rows: Vec<Vec<(u32, f64)>> = (0..n).map(|i| vec![(i as u32, 1.0)]).collect();
+        Self::from_rows(n, &rows)
+    }
+
+    /// Row-normalised adjacency `D⁻¹(A + sI)` from neighbour lists;
+    /// `self_weight = s` adds weighted self-loops (GCN-style uses 1).
+    pub fn normalized_adjacency(neighbors: &[Vec<u32>], self_weight: f64) -> Self {
+        let n = neighbors.len();
+        let rows: Vec<Vec<(u32, f64)>> = neighbors
+            .iter()
+            .enumerate()
+            .map(|(i, nbrs)| {
+                let deg = nbrs.len() as f64 + self_weight;
+                if deg == 0.0 {
+                    return Vec::new();
+                }
+                let mut row: Vec<(u32, f64)> = Vec::with_capacity(nbrs.len() + 1);
+                if self_weight > 0.0 {
+                    row.push((i as u32, self_weight / deg));
+                }
+                row.extend(nbrs.iter().map(|&u| (u, 1.0 / deg)));
+                row
+            })
+            .collect();
+        Self::from_rows(n, &rows)
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Entries of row `r` as `(col, value)` pairs.
+    pub fn row(&self, r: usize) -> impl Iterator<Item = (u32, f64)> + '_ {
+        let range = self.row_ptr[r]..self.row_ptr[r + 1];
+        self.col_idx[range.clone()]
+            .iter()
+            .copied()
+            .zip(self.values[range].iter().copied())
+    }
+
+    /// `self · dense`.
+    pub fn spmm(&self, dense: &Matrix) -> Matrix {
+        assert_eq!(self.n_cols, dense.rows(), "inner dimensions must agree");
+        let mut out = Matrix::zeros(self.n_rows, dense.cols());
+        for r in 0..self.n_rows {
+            for (c, v) in self.row(r) {
+                let src = dense.row(c as usize);
+                let dst = out.row_mut(r);
+                for (d, &s) in dst.iter_mut().zip(src) {
+                    *d += v * s;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · dense` (needed for backprop through a propagation).
+    pub fn spmm_transposed(&self, dense: &Matrix) -> Matrix {
+        assert_eq!(self.n_rows, dense.rows(), "inner dimensions must agree");
+        let mut out = Matrix::zeros(self.n_cols, dense.cols());
+        for r in 0..self.n_rows {
+            for (c, v) in self.row(r) {
+                let src = dense.row(r);
+                let dst = out.row_mut(c as usize);
+                for (d, &s) in dst.iter_mut().zip(src) {
+                    *d += v * s;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_spmm_is_noop() {
+        let x = Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let i = SparseMatrix::identity(3);
+        assert_eq!(i.spmm(&x), x);
+        assert_eq!(i.nnz(), 3);
+    }
+
+    #[test]
+    fn normalized_adjacency_rows_sum_to_one() {
+        let nbrs = vec![vec![1, 2], vec![0], vec![0]];
+        let p = SparseMatrix::normalized_adjacency(&nbrs, 1.0);
+        for r in 0..3 {
+            let sum: f64 = p.row(r).map(|(_, v)| v).sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mean_aggregation_without_self_loop() {
+        let nbrs = vec![vec![1, 2], vec![0], vec![0]];
+        let p = SparseMatrix::normalized_adjacency(&nbrs, 0.0);
+        let x = Matrix::from_vec(3, 1, vec![0.0, 2.0, 4.0]);
+        let y = p.spmm(&x);
+        assert!((y.get(0, 0) - 3.0).abs() < 1e-12); // mean of 2 and 4
+    }
+
+    #[test]
+    fn transposed_product_matches_dense() {
+        let p = SparseMatrix::from_rows(3, &[vec![(0, 1.0), (2, 2.0)], vec![(1, 3.0)]]);
+        let x = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        // Dense Pᵀ: 3x2 = [[1,0],[0,3],[2,0]].
+        let expected = Matrix::from_vec(3, 2, vec![1.0, 2.0, 9.0, 12.0, 2.0, 4.0]);
+        assert_eq!(p.spmm_transposed(&x), expected);
+    }
+
+    #[test]
+    fn empty_rows_are_allowed() {
+        let p = SparseMatrix::from_rows(2, &[vec![], vec![(0, 1.0)]]);
+        let x = Matrix::from_vec(2, 1, vec![5.0, 6.0]);
+        let y = p.spmm(&x);
+        assert_eq!(y.get(0, 0), 0.0);
+        assert_eq!(y.get(1, 0), 5.0);
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests of the linear-algebra substrate.
+
+use cspm_nn::{Matrix, SparseMatrix};
+use proptest::prelude::*;
+
+fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0f64..10.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    /// (A·B)ᵀ = Bᵀ·Aᵀ.
+    #[test]
+    fn transpose_of_product(a in arb_matrix(3, 4), b in arb_matrix(4, 2)) {
+        let left = a.matmul(&b).transpose();
+        let right = b.transpose().matmul(&a.transpose());
+        for (x, y) in left.data().iter().zip(right.data()) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    /// Distributivity: A·(B + C) = A·B + A·C.
+    #[test]
+    fn matmul_distributes(a in arb_matrix(3, 3), b in arb_matrix(3, 2), c in arb_matrix(3, 2)) {
+        let mut bc = b.clone();
+        bc.add_assign(&c);
+        let left = a.matmul(&bc);
+        let mut right = a.matmul(&b);
+        right.add_assign(&a.matmul(&c));
+        for (x, y) in left.data().iter().zip(right.data()) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    /// Sparse-dense product agrees with the densified product.
+    #[test]
+    fn spmm_matches_dense(x in arb_matrix(4, 3), mask in proptest::collection::vec(any::<bool>(), 8)) {
+        // Build a random 2x4 sparse operator from the mask.
+        let rows: Vec<Vec<(u32, f64)>> = (0..2)
+            .map(|r| {
+                (0..4)
+                    .filter(|c| mask[r * 4 + c])
+                    .map(|c| (c as u32, (r + c) as f64 + 0.5))
+                    .collect()
+            })
+            .collect();
+        let p = SparseMatrix::from_rows(4, &rows);
+        // Densify.
+        let mut dense = Matrix::zeros(2, 4);
+        for r in 0..2 {
+            for (c, v) in p.row(r) {
+                dense.set(r, c as usize, v);
+            }
+        }
+        let sparse_result = p.spmm(&x);
+        let dense_result = dense.matmul(&x);
+        for (a, b) in sparse_result.data().iter().zip(dense_result.data()) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+        // And the transposed product (reusing x's leading rows as input).
+        let y = Matrix::from_vec(2, 3, x.data()[..6].to_vec());
+        let t_sparse = p.spmm_transposed(&y);
+        let t_dense = dense.transpose().matmul(&y);
+        for (a, b) in t_sparse.data().iter().zip(t_dense.data()) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    /// Row-normalised adjacency rows sum to 1 (or are empty).
+    #[test]
+    fn normalized_rows_are_stochastic(edges in proptest::collection::vec((0u32..6, 0u32..6), 0..12)) {
+        let mut nbrs: Vec<Vec<u32>> = vec![Vec::new(); 6];
+        for (u, v) in edges {
+            if u != v {
+                nbrs[u as usize].push(v);
+            }
+        }
+        let p = SparseMatrix::normalized_adjacency(&nbrs, 1.0);
+        for r in 0..6 {
+            let sum: f64 = p.row(r).map(|(_, v)| v).sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+}

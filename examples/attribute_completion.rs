@@ -1,0 +1,55 @@
+//! Node attribute completion (§VI-C): complete the missing attribute
+//! sets of 40% of the nodes of a citation network, showing how the CSPM
+//! scoring module (Algorithm 5) boosts a baseline model via score fusion
+//! (Fig. 7).
+//!
+//! ```text
+//! cargo run --release --example attribute_completion
+//! ```
+
+use cspm::completion::{
+    fuse_scores, ndcg_at_k, recall_at_k, CompletionModel, CompletionTask, CspmScorer, NeighAggre,
+};
+use cspm::datasets::{citation_completion, CompletionKind, Scale};
+use cspm::nn::Matrix;
+
+fn main() {
+    let dataset = citation_completion(CompletionKind::Dblp, Scale::Small, 7);
+    println!(
+        "{}: {} papers, {} edges, {} attribute values",
+        dataset.name,
+        dataset.graph.vertex_count(),
+        dataset.graph.edge_count(),
+        dataset.graph.attr_count()
+    );
+
+    // Hide 40% of the nodes' attributes (the paper's protocol).
+    let task = CompletionTask::split(&dataset.graph, 0.4, 99);
+    println!("{} attribute-missing nodes to complete\n", task.test_nodes.len());
+
+    // Mine a-stars on the observed part only, then score with Alg. 5.
+    let scorer = CspmScorer::fit(&task);
+    println!("CSPM mined {} a-stars from the observed graph", scorer.model().len());
+    let cspm_scores = scorer.score_all(&task);
+
+    // Baseline: parameterless neighbour aggregation.
+    let baseline = NeighAggre;
+    let plain = baseline.predict(&task);
+    let fused = fuse_scores(&plain, &cspm_scores);
+
+    let evaluate = |scores: &Matrix, name: &str| {
+        let (mut r, mut n) = (0.0, 0.0);
+        let k = dataset.ks[1];
+        for &v in &task.test_nodes {
+            r += recall_at_k(scores.row(v as usize), task.truth(v), k);
+            n += ndcg_at_k(scores.row(v as usize), task.truth(v), k);
+        }
+        let count = task.test_nodes.len() as f64;
+        println!("{name:<18} Recall@{k} {:.4}  NDCG@{k} {:.4}", r / count, n / count);
+        r / count
+    };
+
+    let a = evaluate(&plain, "NeighAggre");
+    let b = evaluate(&fused, "CSPM+NeighAggre");
+    println!("\nimprovement from CSPM fusion: {:+.1}%", (b / a - 1.0) * 100.0);
+}

@@ -1,0 +1,189 @@
+//! `cspm` — command-line interface to the miner.
+//!
+//! ```text
+//! cspm mine <graph-file> [--basic] [--data-only] [--top K] [--multi-core krimp|slim]
+//! cspm stats <graph-file>
+//! cspm generate <dblp|dblp-trend|usflight|pokec> <out-file> [--scale tiny|small|paper] [--seed N]
+//! cspm verify <graph-file>
+//! ```
+//!
+//! Graph files use the plain-text format of `cspm::graph::read_graph`
+//! (`v <id> <attr>…` / `e <u> <v>` lines).
+
+use std::fs::File;
+use std::process::ExitCode;
+
+use cspm::core::{
+    cspm_basic, cspm_partial, verify_lossless, CoresetMode, CspmConfig, GainPolicy, ModelSummary,
+};
+use cspm::datasets::{dblp_like, dblp_trend_like, pokec_like, save_dataset, usflight_like, Scale};
+use cspm::graph::{metrics, read_graph, AttributedGraph};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  cspm mine <graph-file> [--basic] [--data-only] [--top K] [--multi-core krimp|slim]
+  cspm stats <graph-file>
+  cspm generate <dblp|dblp-trend|usflight|pokec> <out-file> [--scale tiny|small|paper] [--seed N]
+  cspm verify <graph-file>";
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("mine") => mine(&args[1..]),
+        Some("stats") => stats(&args[1..]),
+        Some("generate") => generate(&args[1..]),
+        Some("verify") => verify(&args[1..]),
+        Some(other) => Err(format!("unknown command '{other}'")),
+        None => Err("missing command".into()),
+    }
+}
+
+fn load(path: &str) -> Result<AttributedGraph, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    read_graph(file).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn mine(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("mine needs a graph file")?;
+    let mut config = CspmConfig::default();
+    let mut basic = false;
+    let mut top = 20usize;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--basic" => basic = true,
+            "--data-only" => config.gain_policy = GainPolicy::DataOnly,
+            "--top" => {
+                top = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--top needs a number")?;
+            }
+            "--multi-core" => {
+                config.coreset_mode = match it.next().map(String::as_str) {
+                    Some("krimp") => CoresetMode::Krimp { min_support: 2 },
+                    Some("slim") => CoresetMode::Slim,
+                    _ => return Err("--multi-core needs 'krimp' or 'slim'".into()),
+                };
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    let g = load(path)?;
+    let result = if basic {
+        cspm_basic(&g, config)
+    } else {
+        cspm_partial(&g, config)
+    };
+    println!(
+        "mined {} a-stars in {} merges; DL {:.1} -> {:.1} bits (ratio {:.3})",
+        result.model.len(),
+        result.merges,
+        result.initial_dl,
+        result.final_dl,
+        result.compression_ratio()
+    );
+    println!("{}", ModelSummary::new(&result.db, &result.model));
+    println!("\ntop {top} patterns:");
+    print!("{}", result.model.format_top(g.attrs(), top));
+    Ok(())
+}
+
+fn stats(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("stats needs a graph file")?;
+    let g = load(path)?;
+    println!(
+        "vertices: {}, edges: {}, attribute values: {}",
+        g.vertex_count(),
+        g.edge_count(),
+        g.attr_count()
+    );
+    println!(
+        "connected: {}, components: {}",
+        g.is_connected(),
+        g.component_count()
+    );
+    if let Some(d) = metrics::degree_stats(&g) {
+        println!("degree: min {} / mean {:.2} / max {}", d.min, d.mean, d.max);
+    }
+    println!(
+        "mean labels/vertex: {:.2}, attribute homophily: {:.3}, mean clustering: {:.3}",
+        g.mean_labels_per_vertex(),
+        metrics::attribute_homophily(&g),
+        metrics::mean_clustering(&g)
+    );
+    println!("most frequent attribute values:");
+    for (a, count) in metrics::attribute_histogram(&g).into_iter().take(10) {
+        println!("  {:<24} {count}", g.attrs().name(a).unwrap_or("?"));
+    }
+    Ok(())
+}
+
+fn generate(args: &[String]) -> Result<(), String> {
+    let kind = args.first().ok_or("generate needs a dataset kind")?;
+    let out = args.get(1).ok_or("generate needs an output file")?;
+    let mut scale = Scale::Small;
+    let mut seed = 2022u64;
+    let mut it = args[2..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = match it.next().map(String::as_str) {
+                    Some("tiny") => Scale::Tiny,
+                    Some("small") => Scale::Small,
+                    Some("paper") => Scale::Paper,
+                    _ => return Err("--scale needs tiny|small|paper".into()),
+                };
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--seed needs a number")?;
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    let dataset = match kind.as_str() {
+        "dblp" => dblp_like(scale, seed),
+        "dblp-trend" => dblp_trend_like(scale, seed),
+        "usflight" => usflight_like(scale, seed),
+        "pokec" => pokec_like(scale, seed),
+        other => return Err(format!("unknown dataset '{other}'")),
+    };
+    save_dataset(&dataset, std::path::Path::new(out))
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    let (n, m, a) = dataset.statistics();
+    println!("wrote {} ({n} vertices, {m} edges, {a} attribute values) to {out}", dataset.name);
+    Ok(())
+}
+
+fn verify(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("verify needs a graph file")?;
+    let g = load(path)?;
+    g.validate()
+        .map_err(|e| format!("input constraint violated: {e}"))?;
+    let result = cspm_partial(&g, CspmConfig::default());
+    let errors = verify_lossless(&g, &result.db);
+    if errors.is_empty() {
+        println!(
+            "ok: model of {} a-stars decodes the graph losslessly (DL ratio {:.3})",
+            result.model.len(),
+            result.compression_ratio()
+        );
+        Ok(())
+    } else {
+        Err(format!("lossless verification failed with {} errors", errors.len()))
+    }
+}

@@ -1,0 +1,85 @@
+//! End-to-end integration of the two application pipelines
+//! (§VI-C node attribute completion, §VI-D alarm correlation).
+
+use cspm::alarm::{
+    acor_rank, coverage_curve, cspm_rank, simulate, RuleLibrary, SimConfig, TelecomTopology,
+};
+use cspm::completion::{fuse_scores, recall_at_k, CompletionTask, CspmScorer, NeighAggre};
+use cspm::completion::CompletionModel;
+use cspm::datasets::{citation_completion, CompletionKind, Scale};
+
+#[test]
+fn completion_pipeline_cspm_boosts_neighaggre() {
+    let d = citation_completion(CompletionKind::Dblp, Scale::Small, 7);
+    let task = CompletionTask::split(&d.graph, 0.4, 99);
+    let scorer = CspmScorer::fit(&task);
+    let cspm_scores = scorer.score_all(&task);
+    let plain = NeighAggre.predict(&task);
+    let fused = fuse_scores(&plain, &cspm_scores);
+    let eval = |scores: &cspm::nn::Matrix| {
+        let mut r = 0.0;
+        for &v in &task.test_nodes {
+            r += recall_at_k(scores.row(v as usize), task.truth(v), d.ks[1]);
+        }
+        r / task.test_nodes.len() as f64
+    };
+    let (p, f) = (eval(&plain), eval(&fused));
+    assert!(
+        f > p,
+        "CSPM fusion must boost NeighAggre on DBLP-like data: {p} -> {f}"
+    );
+}
+
+#[test]
+fn completion_scorer_has_no_leakage() {
+    // Mining must not see hidden attributes: a scorer fitted on the task
+    // must behave identically when the hidden labels are scrambled.
+    let d = citation_completion(CompletionKind::Cora, Scale::Tiny, 7);
+    let task = CompletionTask::split(&d.graph, 0.4, 99);
+    let og = task.observed_graph();
+    for &v in &task.test_nodes {
+        assert!(og.labels(v).is_empty());
+    }
+}
+
+#[test]
+fn alarm_pipeline_both_rankers_converge_to_full_coverage() {
+    let topo = TelecomTopology::generate(3, 8, 40, 5);
+    let rules = RuleLibrary::generate(5, 15, 50, 6);
+    let cfg = SimConfig { n_events: 6000, n_windows: 80, ..Default::default() };
+    let events = simulate(&topo, &rules, &cfg);
+    let valid = rules.pair_rules();
+
+    let cspm = cspm_rank(&topo, &events, cfg.window_ms);
+    let acor = acor_rank(&topo, &events, cfg.window_ms);
+    let full_cspm = coverage_curve(&valid, &cspm, &[cspm.len()])[0].1;
+    let full_acor = coverage_curve(&valid, &acor, &[acor.len()])[0].1;
+    assert!(full_cspm >= 0.9, "CSPM coverage {full_cspm}");
+    assert!(full_acor >= 0.9, "ACOR coverage {full_acor}");
+
+    // Fig. 8 shape: CSPM's area under the coverage curve is at least
+    // competitive with ACOR's.
+    let ks: Vec<usize> = (1..=30).map(|i| i * 5).collect();
+    let auc = |ranked| {
+        coverage_curve(&valid, ranked, &ks)
+            .iter()
+            .map(|&(_, v)| v)
+            .sum::<f64>()
+    };
+    assert!(auc(&cspm) >= auc(&acor) * 0.9);
+}
+
+#[test]
+fn alarm_rules_rank_above_noise() {
+    // Valid rules should be strongly over-represented in CSPM's top-|valid|.
+    let topo = TelecomTopology::generate(3, 8, 40, 5);
+    let rules = RuleLibrary::generate(5, 15, 50, 6);
+    let cfg = SimConfig { n_events: 6000, n_windows: 80, ..Default::default() };
+    let events = simulate(&topo, &rules, &cfg);
+    let valid = rules.pair_rules();
+    let ranked = cspm_rank(&topo, &events, cfg.window_ms);
+    let at_v = coverage_curve(&valid, &ranked, &[2 * valid.len()])[0].1;
+    // Random ranking over all candidate pairs would cover only a few
+    // percent at 2|valid|; demand a large multiple of that.
+    assert!(at_v >= 0.4, "coverage at 2|valid| only {at_v}");
+}

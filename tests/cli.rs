@@ -1,0 +1,91 @@
+//! End-to-end tests of the `cspm` command-line interface.
+
+use std::process::Command;
+
+fn cspm(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_cspm"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("cspm-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn generate_stats_mine_verify_pipeline() {
+    let path = temp_path("pipeline.graph");
+    let path_str = path.to_str().unwrap();
+
+    let (ok, stdout, _) = cspm(&["generate", "usflight", path_str, "--scale", "tiny", "--seed", "5"]);
+    assert!(ok, "generate failed");
+    assert!(stdout.contains("USFlight"));
+
+    let (ok, stdout, _) = cspm(&["stats", path_str]);
+    assert!(ok);
+    assert!(stdout.contains("vertices: 40"));
+    assert!(stdout.contains("attribute homophily"));
+
+    let (ok, stdout, _) = cspm(&["mine", path_str, "--top", "3"]);
+    assert!(ok);
+    assert!(stdout.contains("a-stars"));
+    assert!(stdout.contains("bits"));
+
+    let (ok, stdout, _) = cspm(&["verify", path_str]);
+    assert!(ok);
+    assert!(stdout.contains("losslessly"));
+
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn mine_flags_are_honoured() {
+    let path = temp_path("flags.graph");
+    let path_str = path.to_str().unwrap();
+    cspm(&["generate", "dblp", path_str, "--scale", "tiny"]);
+
+    let (ok, basic_out, _) = cspm(&["mine", path_str, "--basic", "--top", "2"]);
+    assert!(ok);
+    let (ok, data_only_out, _) = cspm(&["mine", path_str, "--data-only", "--top", "2"]);
+    assert!(ok);
+    // DataOnly accepts more merges than the default Total policy.
+    let merges = |s: &str| -> usize {
+        s.split(" in ")
+            .nth(1)
+            .and_then(|rest| rest.split(" merges").next())
+            .and_then(|n| n.parse().ok())
+            .unwrap_or(0)
+    };
+    assert!(merges(&data_only_out) >= merges(&basic_out));
+
+    let (ok, _, _) = cspm(&["mine", path_str, "--multi-core", "slim", "--top", "2"]);
+    assert!(ok, "multi-core slim mining failed");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn helpful_errors() {
+    let (ok, _, stderr) = cspm(&[]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"));
+
+    let (ok, _, stderr) = cspm(&["mine", "/nonexistent/file.graph"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot open"));
+
+    let (ok, _, stderr) = cspm(&["generate", "nope", "/tmp/x.graph"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown dataset"));
+
+    let (ok, _, stderr) = cspm(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+}
