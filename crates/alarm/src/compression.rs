@@ -115,7 +115,11 @@ mod tests {
     fn scenario() -> (TelecomTopology, RuleLibrary, Vec<AlarmEvent>, u64) {
         let topo = TelecomTopology::generate(3, 8, 40, 5);
         let rules = RuleLibrary::generate(5, 12, 40, 6);
-        let cfg = SimConfig { n_events: 4000, n_windows: 60, ..Default::default() };
+        let cfg = SimConfig {
+            n_events: 4000,
+            n_windows: 60,
+            ..Default::default()
+        };
         let events = simulate(&topo, &rules, &cfg);
         (topo, rules, events, cfg.window_ms)
     }
@@ -124,7 +128,14 @@ mod tests {
     fn cspm_rules_compress_most_derivative_traffic() {
         let (topo, rules, events, w) = scenario();
         let ranked = cspm_rank(&topo, &events, w);
-        let report = compress_log(&topo, &events, &ranked, 2 * rules.pair_rules().len(), w, Some(&rules));
+        let report = compress_log(
+            &topo,
+            &events,
+            &ranked,
+            2 * rules.pair_rules().len(),
+            w,
+            Some(&rules),
+        );
         // Derivative alarms are ~55%·(0.85·|derivs|/(1+0.85·|derivs|)) of
         // the log; a good rule list suppresses a large share of them.
         assert!(

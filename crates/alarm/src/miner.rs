@@ -111,7 +111,11 @@ pub fn acor_rank(topo: &TelecomTopology, events: &[AlarmEvent], window_ms: u64) 
         let (na, nb) = (n[&a] as f64, n[&b] as f64);
         let corr = (cab.max(cba) as f64) / (na * nb).sqrt();
         let (cause, derivative) = stats.orient(a, b);
-        out.push(PairRule { cause, derivative, score: corr });
+        out.push(PairRule {
+            cause,
+            derivative,
+            score: corr,
+        });
     }
     out.sort_by(|l, r| {
         r.score
@@ -152,14 +156,22 @@ pub fn cspm_rank(topo: &TelecomTopology, events: &[AlarmEvent], window_ms: u64) 
             .collect();
         for &core in &cores {
             for &leaf_attr in mined.astar.leafset() {
-                let Some(name) = attrs.name(leaf_attr) else { continue };
-                let Some(leaf) = parse_alarm_attr(name) else { continue };
+                let Some(name) = attrs.name(leaf_attr) else {
+                    continue;
+                };
+                let Some(leaf) = parse_alarm_attr(name) else {
+                    continue;
+                };
                 if leaf == core {
                     continue;
                 }
                 if seen.insert((core.min(leaf), core.max(leaf))) {
                     let (cause, derivative) = stats.orient(core, leaf);
-                    out.push(PairRule { cause, derivative, score: -mined.code_len });
+                    out.push(PairRule {
+                        cause,
+                        derivative,
+                        score: -mined.code_len,
+                    });
                 }
             }
         }
@@ -196,7 +208,11 @@ mod tests {
     fn scenario() -> (TelecomTopology, RuleLibrary, Vec<AlarmEvent>, u64) {
         let topo = TelecomTopology::generate(3, 8, 40, 5);
         let rules = RuleLibrary::generate(5, 12, 40, 6);
-        let cfg = SimConfig { n_events: 4000, n_windows: 60, ..Default::default() };
+        let cfg = SimConfig {
+            n_events: 4000,
+            n_windows: 60,
+            ..Default::default()
+        };
         let events = simulate(&topo, &rules, &cfg);
         (topo, rules, events, cfg.window_ms)
     }

@@ -29,7 +29,10 @@ impl RuleLibrary {
     /// pair rules (paper: 11 rules, 300 types, 121 pairs). Causes and
     /// derivatives are disjoint type sets; leftover types are pure noise.
     pub fn generate(n_rules: usize, n_pairs: usize, n_types: usize, seed: u64) -> Self {
-        assert!(n_pairs >= n_rules, "each rule needs at least one derivative");
+        assert!(
+            n_pairs >= n_rules,
+            "each rule needs at least one derivative"
+        );
         assert!(n_types >= n_rules + n_pairs, "type universe too small");
         let mut rng = StdRng::seed_from_u64(seed);
         let mut types: Vec<AlarmType> = (0..n_types as AlarmType).collect();
@@ -111,7 +114,11 @@ mod tests {
             }
         }
         // No derivative is shared between rules.
-        let all: Vec<AlarmType> = lib.rules().iter().flat_map(|r| r.derivatives.clone()).collect();
+        let all: Vec<AlarmType> = lib
+            .rules()
+            .iter()
+            .flat_map(|r| r.derivatives.clone())
+            .collect();
         let mut dedup = all.clone();
         dedup.sort_unstable();
         dedup.dedup();

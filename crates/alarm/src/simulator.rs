@@ -76,7 +76,11 @@ pub fn simulate(topo: &TelecomTopology, rules: &RuleLibrary, cfg: &SimConfig) ->
         let rule = &rules.rules()[rng.gen_range(0..rules.rules().len())];
         let device = rng.gen_range(0..topo.n_devices()) as u32;
         let t0 = rng.gen_range(0..horizon.saturating_sub(cfg.window_ms / 2).max(1));
-        events.push(AlarmEvent { device, alarm: rule.cause, time: t0 });
+        events.push(AlarmEvent {
+            device,
+            alarm: rule.cause,
+            time: t0,
+        });
         for &derivative in &rule.derivatives {
             if rng.gen::<f64>() >= cfg.derivative_prob {
                 continue;
@@ -88,7 +92,11 @@ pub fn simulate(topo: &TelecomTopology, rules: &RuleLibrary, cfg: &SimConfig) ->
                 device
             };
             let jitter = rng.gen_range(0..cfg.window_ms / 4);
-            events.push(AlarmEvent { device: target, alarm: derivative, time: t0 + jitter });
+            events.push(AlarmEvent {
+                device: target,
+                alarm: derivative,
+                time: t0 + jitter,
+            });
         }
     }
     // Background noise. The type-popularity skew is configurable: with
@@ -187,7 +195,10 @@ pub fn build_window_graph(
         n_windows += 1;
         i = j;
     }
-    WindowGraph { graph: b.build_unchecked(), n_windows }
+    WindowGraph {
+        graph: b.build_unchecked(),
+        n_windows,
+    }
 }
 
 #[cfg(test)]
@@ -197,7 +208,11 @@ mod tests {
     fn small() -> (TelecomTopology, RuleLibrary, SimConfig) {
         let topo = TelecomTopology::generate(3, 8, 40, 5);
         let rules = RuleLibrary::generate(5, 12, 40, 6);
-        let cfg = SimConfig { n_events: 3000, n_windows: 40, ..Default::default() };
+        let cfg = SimConfig {
+            n_events: 3000,
+            n_windows: 40,
+            ..Default::default()
+        };
         (topo, rules, cfg)
     }
 
@@ -207,7 +222,9 @@ mod tests {
         let events = simulate(&topo, &rules, &cfg);
         assert!(events.len() >= cfg.n_events);
         assert!(events.windows(2).all(|w| w[0].time <= w[1].time));
-        assert!(events.iter().all(|e| (e.device as usize) < topo.n_devices()));
+        assert!(events
+            .iter()
+            .all(|e| (e.device as usize) < topo.n_devices()));
     }
 
     #[test]

@@ -58,7 +58,11 @@ impl TelecomTopology {
         for list in &mut adjacency {
             list.sort_unstable();
         }
-        Self { adjacency, n_core, n_agg }
+        Self {
+            adjacency,
+            n_core,
+            n_agg,
+        }
     }
 
     /// Number of devices.

@@ -5,7 +5,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use cspm_alarm::{acor_rank, build_window_graph, simulate, RuleLibrary, SimConfig, TelecomTopology};
+use cspm_alarm::{
+    acor_rank, build_window_graph, simulate, RuleLibrary, SimConfig, TelecomTopology,
+};
 use cspm_completion::{fuse_scores, CompletionTask, CspmScorer};
 use cspm_datasets::{citation_completion, CompletionKind, Scale};
 use cspm_nn::{Matrix, SparseMatrix};
@@ -29,7 +31,11 @@ fn bench_scoring(c: &mut Criterion) {
 fn bench_alarm_pipeline(c: &mut Criterion) {
     let topo = TelecomTopology::generate(3, 8, 40, 5);
     let rules = RuleLibrary::generate(5, 12, 40, 6);
-    let cfg = SimConfig { n_events: 5000, n_windows: 50, ..Default::default() };
+    let cfg = SimConfig {
+        n_events: 5000,
+        n_windows: 50,
+        ..Default::default()
+    };
     c.bench_function("alarm_simulate_5k", |b| {
         b.iter(|| simulate(black_box(&topo), black_box(&rules), &cfg))
     });
@@ -59,5 +65,10 @@ fn bench_nn_kernels(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_scoring, bench_alarm_pipeline, bench_nn_kernels);
+criterion_group!(
+    benches,
+    bench_scoring,
+    bench_alarm_pipeline,
+    bench_nn_kernels
+);
 criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Criterion benchmarks for the unified mining engine: the flat
+//! posting-list store against the seed's HashMap-row baseline on an
+//! identical merge schedule, plus the engine's two scheduling policies
+//! end to end.
+//!
+//! Acceptance gate for the engine PR: `posting_store/flat/*` must be at
+//! least as fast as `posting_store/hashmap_rows/*` on the small-scale
+//! generated datasets.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use cspm_bench::enginebench::MergeWorkload;
+use cspm_core::engine::{mine_with_policy, run_on_db, SchedulePolicy};
+use cspm_core::{CoresetMode, CspmConfig, GainPolicy, InvertedDb};
+use cspm_datasets::{dblp_like, pokec_like, Scale};
+
+fn bench_posting_store(c: &mut Criterion) {
+    let mut g = c.benchmark_group("posting_store");
+    g.sample_size(5);
+    for (name, d) in [
+        ("dblp_small", dblp_like(Scale::Small, 1)),
+        ("pokec_tiny", pokec_like(Scale::Tiny, 1)),
+        ("pokec_small", pokec_like(Scale::Small, 1)),
+    ] {
+        let w = MergeWorkload::from_graph(&d.graph);
+        assert_eq!(
+            w.replay_flat(),
+            w.replay_hashmap(),
+            "backends must do identical work"
+        );
+        g.bench_function(format!("flat/{name}"), |b| {
+            b.iter(|| black_box(&w).replay_flat())
+        });
+        g.bench_function(format!("hashmap_rows/{name}"), |b| {
+            b.iter(|| black_box(&w).replay_hashmap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_merge_loop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("merge_loop");
+    let d = dblp_like(Scale::Small, 1);
+    let db = InvertedDb::build(&d.graph, CoresetMode::SingleValue, GainPolicy::Total);
+    for (name, policy) in [
+        ("incremental", SchedulePolicy::Incremental),
+        ("full_regeneration", SchedulePolicy::FullRegeneration),
+    ] {
+        g.bench_function(name, |b| {
+            // Clone outside the timing: the measurement tracks the
+            // merge loop, not InvertedDb::clone.
+            b.iter_batched(
+                || db.clone(),
+                |db| run_on_db(black_box(db), policy, CspmConfig::default()),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_end_to_end");
+    let d = pokec_like(Scale::Tiny, 1);
+    g.bench_function("partial_pokec_tiny", |b| {
+        b.iter(|| {
+            mine_with_policy(
+                black_box(&d.graph),
+                SchedulePolicy::Incremental,
+                CspmConfig::default(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_posting_store,
+    bench_merge_loop,
+    bench_end_to_end
+);
+criterion_main!(benches);

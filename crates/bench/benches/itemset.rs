@@ -42,7 +42,16 @@ fn bench_compressors(c: &mut Criterion) {
     let mut g = c.benchmark_group("compressors");
     g.sample_size(10);
     g.bench_function("krimp", |b| {
-        b.iter(|| krimp(black_box(&db), KrimpConfig { min_support: 10, prune: false, ..Default::default() }))
+        b.iter(|| {
+            krimp(
+                black_box(&db),
+                KrimpConfig {
+                    min_support: 10,
+                    prune: false,
+                    ..Default::default()
+                },
+            )
+        })
     });
     g.bench_function("slim", |b| {
         b.iter(|| slim(black_box(&db), SlimConfig::default()))
@@ -52,7 +61,13 @@ fn bench_compressors(c: &mut Criterion) {
 
 fn bench_cover(c: &mut Criterion) {
     let db = synthetic_db(1000, 50, 7);
-    let res = slim(&db, SlimConfig { max_accepted: Some(8), ..Default::default() });
+    let res = slim(
+        &db,
+        SlimConfig {
+            max_accepted: Some(8),
+            ..Default::default()
+        },
+    );
     c.bench_function("code_table_cover", |b| {
         b.iter(|| res.code_table.cover(black_box(&db)))
     });

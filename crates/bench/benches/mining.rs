@@ -45,11 +45,7 @@ fn bench_gain_and_merge(c: &mut Criterion) {
     let best = pairs
         .iter()
         .copied()
-        .max_by(|&(a, b), &(x, y)| {
-            db.pair_gain(a, b)
-                .partial_cmp(&db.pair_gain(x, y))
-                .unwrap()
-        })
+        .max_by(|&(a, b), &(x, y)| db.pair_gain(a, b).partial_cmp(&db.pair_gain(x, y)).unwrap())
         .expect("non-empty candidate set");
     c.bench_function("merge_best_pair", |b| {
         b.iter_batched(
@@ -77,5 +73,10 @@ fn bench_cspm_variants(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_inverted_db, bench_gain_and_merge, bench_cspm_variants);
+criterion_group!(
+    benches,
+    bench_inverted_db,
+    bench_gain_and_merge,
+    bench_cspm_variants
+);
 criterion_main!(benches);

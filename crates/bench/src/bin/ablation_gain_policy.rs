@@ -31,7 +31,10 @@ fn main() {
             continue;
         }
         for policy in [GainPolicy::Total, GainPolicy::DataOnly] {
-            let cfg = CspmConfig { gain_policy: policy, ..Default::default() };
+            let cfg = CspmConfig {
+                gain_policy: policy,
+                ..Default::default()
+            };
             let t = std::time::Instant::now();
             let res = cspm_partial(&d.graph, cfg);
             let time = t.elapsed().as_secs_f64();

@@ -12,7 +12,9 @@
 //! cargo run --release -p cspm-bench --bin ablation_noise_skew
 //! ```
 
-use cspm_alarm::{acor_rank, coverage_curve, cspm_rank, simulate, RuleLibrary, SimConfig, TelecomTopology};
+use cspm_alarm::{
+    acor_rank, coverage_curve, cspm_rank, simulate, RuleLibrary, SimConfig, TelecomTopology,
+};
 use cspm_bench::{hr, parse_args};
 use cspm_datasets::Scale;
 
@@ -28,7 +30,10 @@ fn main() {
     let valid = rules.pair_rules();
     let ks: Vec<usize> = (1..=20).map(|i| i * 25).collect();
 
-    println!("Ablation: noise-skew sensitivity of Fig. 8 (scale {:?})\n", args.scale);
+    println!(
+        "Ablation: noise-skew sensitivity of Fig. 8 (scale {:?})\n",
+        args.scale
+    );
     println!(
         "{:>10} {:>12} {:>12} {:>16} {:>16}",
         "zipf s", "CSPM AUC", "ACOR AUC", "CSPM cov@121", "ACOR cov@121"

@@ -40,13 +40,23 @@ fn main() {
         let gap = (partial.final_dl / basic.final_dl - 1.0) * 100.0;
         println!(
             "{:<22} {:>9} {:>8} {:>13} {:>12.1} {:>10} {:>9}",
-            d.name, "Basic", basic.merges, basic.stats.total_gain_evals, basic.final_dl,
-            fmt_secs(tb), "0.00"
+            d.name,
+            "Basic",
+            basic.merges,
+            basic.stats.total_gain_evals,
+            basic.final_dl,
+            fmt_secs(tb),
+            "0.00"
         );
         println!(
             "{:<22} {:>9} {:>8} {:>13} {:>12.1} {:>10} {:>9.2}",
-            d.name, "Partial", partial.merges, partial.stats.total_gain_evals,
-            partial.final_dl, fmt_secs(tp), gap
+            d.name,
+            "Partial",
+            partial.merges,
+            partial.stats.total_gain_evals,
+            partial.final_dl,
+            fmt_secs(tp),
+            gap
         );
     }
     println!("\nreading: Partial trades a small DL gap (rdict misses some late");

@@ -1,0 +1,149 @@
+//! Records merge-loop timings for the unified engine into
+//! `BENCH_engine.json`, so successive PRs can track the perf trajectory.
+//!
+//! ```text
+//! bench_engine [--tiny|--paper] [--seed N] [--out FILE]
+//! ```
+//!
+//! Measures, per dataset: the posting-store replay (flat arena vs the
+//! seed's HashMap-row baseline over an identical merge schedule — see
+//! `cspm_bench::enginebench`), and the engine's two scheduling policies
+//! end to end on a pre-built inverted database.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use cspm_bench::enginebench::MergeWorkload;
+use cspm_bench::fmt_secs;
+use cspm_core::engine::{run_on_db, SchedulePolicy};
+use cspm_core::{CoresetMode, CspmConfig, GainPolicy, InvertedDb};
+use cspm_datasets::{dblp_like, pokec_like, usflight_like, Dataset, Scale};
+
+/// Median of `reps` timed runs of `f`, in seconds.
+fn median_secs<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    median_secs_batched(reps, || (), |()| f())
+}
+
+/// Median of `reps` timed runs of `routine` on fresh inputs from
+/// `setup`; setup (e.g. cloning a database) stays outside the timing so
+/// recorded trajectories track the routine alone.
+fn median_secs_batched<I, T>(
+    reps: usize,
+    mut setup: impl FnMut() -> I,
+    mut routine: impl FnMut(I) -> T,
+) -> f64 {
+    let mut times: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+struct Record {
+    name: String,
+    secs: f64,
+}
+
+fn main() {
+    let mut scale = Scale::Small;
+    let mut seed = 2022u64;
+    let mut out_path = "BENCH_engine.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--paper" => scale = Scale::Paper,
+            "--tiny" => scale = Scale::Tiny,
+            "--seed" => seed = args.next().and_then(|s| s.parse().ok()).expect("--seed N"),
+            "--out" => out_path = args.next().expect("--out FILE"),
+            other => panic!("unknown argument '{other}'"),
+        }
+    }
+
+    let datasets: Vec<Dataset> = vec![
+        dblp_like(scale, seed),
+        usflight_like(scale, seed),
+        pokec_like(
+            if scale == Scale::Paper {
+                Scale::Small
+            } else {
+                scale
+            },
+            seed,
+        ),
+    ];
+    let reps = 3;
+    let mut records: Vec<Record> = Vec::new();
+
+    for d in &datasets {
+        let (n, m, a) = d.statistics();
+        println!("== {} ({n} vertices, {m} edges, {a} attrs) ==", d.name);
+
+        let w = MergeWorkload::from_graph(&d.graph);
+        assert_eq!(
+            w.replay_flat(),
+            w.replay_hashmap(),
+            "backends must do identical work"
+        );
+        let flat = median_secs(reps, || w.replay_flat());
+        let hash = median_secs(reps, || w.replay_hashmap());
+        println!(
+            "  posting store replay ({} merges): flat {} vs hashmap-rows {} ({:.2}x)",
+            w.merge_count(),
+            fmt_secs(flat),
+            fmt_secs(hash),
+            hash / flat
+        );
+        records.push(Record {
+            name: format!("{}/replay_flat", d.name),
+            secs: flat,
+        });
+        records.push(Record {
+            name: format!("{}/replay_hashmap_rows", d.name),
+            secs: hash,
+        });
+
+        let db = InvertedDb::build(&d.graph, CoresetMode::SingleValue, GainPolicy::Total);
+        let initial_pairs = db.sharing_pairs().len();
+        for (label, policy) in [
+            ("incremental", SchedulePolicy::Incremental),
+            ("full_regeneration", SchedulePolicy::FullRegeneration),
+        ] {
+            // Full regeneration is O(pairs × merges); at tens of
+            // thousands of initial pairs a timed run takes minutes, so
+            // it is only recorded on modest candidate sets.
+            if policy == SchedulePolicy::FullRegeneration && initial_pairs > 5_000 {
+                println!("  merge loop [{label}]: skipped ({initial_pairs} initial pairs)");
+                continue;
+            }
+            let secs = median_secs_batched(
+                reps,
+                || db.clone(),
+                |db| run_on_db(db, policy, CspmConfig::default()),
+            );
+            println!("  merge loop [{label}]: {}", fmt_secs(secs));
+            records.push(Record {
+                name: format!("{}/merge_loop_{label}", d.name),
+                secs,
+            });
+        }
+    }
+
+    let mut f = std::fs::File::create(&out_path).expect("can create output file");
+    writeln!(f, "{{").unwrap();
+    writeln!(f, "  \"suite\": \"engine\",").unwrap();
+    writeln!(f, "  \"scale\": \"{scale:?}\",").unwrap();
+    writeln!(f, "  \"seed\": {seed},").unwrap();
+    writeln!(f, "  \"timings_secs\": {{").unwrap();
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 == records.len() { "" } else { "," };
+        writeln!(f, "    \"{}\": {:.6}{comma}", r.name, r.secs).unwrap();
+    }
+    writeln!(f, "  }}").unwrap();
+    writeln!(f, "}}").unwrap();
+    println!("wrote {out_path}");
+}

@@ -25,7 +25,11 @@ fn main() {
     };
     let topo = TelecomTopology::generate(devices.0, devices.1, devices.2, args.seed);
     let rules = RuleLibrary::generate(11, 121, 300, args.seed.wrapping_add(1));
-    let cfg = SimConfig { n_events, n_windows, ..Default::default() };
+    let cfg = SimConfig {
+        n_events,
+        n_windows,
+        ..Default::default()
+    };
     let events = simulate(&topo, &rules, &cfg);
     println!(
         "Extension: alarm compression ({} alarms, {} valid pair rules)\n",

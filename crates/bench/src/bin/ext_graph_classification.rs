@@ -41,11 +41,19 @@ fn main() {
                     seed: args.seed,
                 },
             );
-            let cfg = NetConfig { hidden: 16, epochs: 250, ..Default::default() };
+            let cfg = NetConfig {
+                hidden: 16,
+                epochs: 250,
+                ..Default::default()
+            };
             let report = train_classifier(&data, 0.3, 24, &cfg, args.seed ^ 7);
             println!(
                 "{:>8} {:>10.2} {:>14.3} {:>14.3} {:>10}",
-                n_classes, fidelity, report.astar_accuracy, report.histogram_accuracy, report.astar_dims
+                n_classes,
+                fidelity,
+                report.astar_accuracy,
+                report.histogram_accuracy,
+                report.astar_dims
             );
         }
     }

@@ -42,7 +42,10 @@ fn main() {
         println!("{:>10} {:>14} {:>14}", "iteration", "Basic", "Partial");
         hr(42);
         let ps = series(&partial.stats, 12);
-        let bs = basic.as_ref().map(|b| series(&b.stats, 12)).unwrap_or_default();
+        let bs = basic
+            .as_ref()
+            .map(|b| series(&b.stats, 12))
+            .unwrap_or_default();
         let rows = ps.len().max(bs.len());
         for i in 0..rows {
             let iteration = ps

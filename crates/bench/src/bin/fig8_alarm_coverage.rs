@@ -9,7 +9,9 @@
 //! cargo run --release -p cspm-bench --bin fig8_alarm_coverage [--paper]
 //! ```
 
-use cspm_alarm::{acor_rank, coverage_curve, cspm_rank, simulate, RuleLibrary, SimConfig, TelecomTopology};
+use cspm_alarm::{
+    acor_rank, coverage_curve, cspm_rank, simulate, RuleLibrary, SimConfig, TelecomTopology,
+};
 use cspm_bench::{hr, parse_args};
 use cspm_datasets::Scale;
 
@@ -79,5 +81,8 @@ fn main() {
     } else {
         "ACOR dominates — deviates from Fig. 8"
     };
-    println!("area under curve: CSPM {:.2} vs ACOR {:.2} ({verdict})", auc.0, auc.1);
+    println!(
+        "area under curve: CSPM {:.2} vs ACOR {:.2} ({verdict})",
+        auc.0, auc.1
+    );
 }

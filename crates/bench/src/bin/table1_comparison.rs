@@ -43,6 +43,9 @@ fn main() {
         "  [ok] Krimp evaluated {} pre-mined candidates; SLIM generated {} on the fly",
         k.evaluated, s.evaluated
     );
-    println!("  [ok] both compress: Krimp ratio {:.3}, SLIM ratio {:.3}",
-        k.compression_ratio(), s.compression_ratio());
+    println!(
+        "  [ok] both compress: Krimp ratio {:.3}, SLIM ratio {:.3}",
+        k.compression_ratio(),
+        s.compression_ratio()
+    );
 }

@@ -34,6 +34,8 @@ fn main() {
         );
     }
     println!();
-    println!("paper reference (Table II): DBLP 2,723/3,464/|Sc^M|=127; DBLP-Trend 2,723/3,464/271;");
+    println!(
+        "paper reference (Table II): DBLP 2,723/3,464/|Sc^M|=127; DBLP-Trend 2,723/3,464/271;"
+    );
     println!("USFlight 280/4,030/70; Pokec 1,632,803/30,622,564/914");
 }

@@ -37,7 +37,11 @@ fn main() {
         let cfg = ExperimentConfig {
             test_fraction: 0.4,
             seed: args.seed ^ 0x5eed,
-            net: NetConfig { hidden: 32, epochs, ..Default::default() },
+            net: NetConfig {
+                hidden: 32,
+                epochs,
+                ..Default::default()
+            },
             ks: d.ks,
         };
         let rows = run_completion(&d.graph, &cfg);

@@ -10,6 +10,8 @@
 
 use cspm_datasets::Scale;
 
+pub mod enginebench;
+
 /// Parsed common CLI options.
 #[derive(Debug, Clone, Copy)]
 pub struct HarnessArgs {
@@ -21,7 +23,10 @@ pub struct HarnessArgs {
 
 impl Default for HarnessArgs {
     fn default() -> Self {
-        Self { scale: Scale::Small, seed: 2022 }
+        Self {
+            scale: Scale::Small,
+            seed: 2022,
+        }
     }
 }
 

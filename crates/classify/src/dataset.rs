@@ -20,7 +20,12 @@ pub struct CollectionConfig {
 
 impl Default for CollectionConfig {
     fn default() -> Self {
-        Self { graphs_per_class: 20, motifs_per_graph: 8, signature_fidelity: 0.85, seed: 31 }
+        Self {
+            graphs_per_class: 20,
+            motifs_per_graph: 8,
+            signature_fidelity: 0.85,
+            seed: 31,
+        }
     }
 }
 
@@ -58,7 +63,11 @@ pub fn labeled_graph_collection(n_classes: usize, cfg: CollectionConfig) -> Labe
             labels.push(class);
         }
     }
-    LabeledGraphs { graphs, labels, n_classes }
+    LabeledGraphs {
+        graphs,
+        labels,
+        n_classes,
+    }
 }
 
 fn one_graph(
@@ -112,8 +121,7 @@ mod tests {
         // The design goal: histogram features are (nearly) uninformative.
         let c = labeled_graph_collection(2, CollectionConfig::default());
         let vocab = |g: &AttributedGraph| {
-            let mut names: Vec<&str> =
-                g.attrs().iter().map(|(_, n)| n).collect();
+            let mut names: Vec<&str> = g.attrs().iter().map(|(_, n)| n).collect();
             names.sort_unstable();
             names.join(",")
         };

@@ -59,20 +59,12 @@ impl AStarFeaturizer {
         self.patterns
             .iter()
             .map(|p| {
-                let core: Option<Vec<u32>> = p
-                    .coreset()
-                    .iter()
-                    .map(|&a| remap[a as usize])
-                    .collect();
-                let leaf: Option<Vec<u32>> = p
-                    .leafset()
-                    .iter()
-                    .map(|&a| remap[a as usize])
-                    .collect();
+                let core: Option<Vec<u32>> =
+                    p.coreset().iter().map(|&a| remap[a as usize]).collect();
+                let leaf: Option<Vec<u32>> =
+                    p.leafset().iter().map(|&a| remap[a as usize]).collect();
                 match (core, leaf) {
-                    (Some(c), Some(l)) => {
-                        AStar::new(c, l).support(g) as f64 / n
-                    }
+                    (Some(c), Some(l)) => AStar::new(c, l).support(g) as f64 / n,
                     _ => 0.0, // pattern uses a value absent from this graph
                 }
             })

@@ -118,7 +118,11 @@ mod tests {
     #[test]
     fn astar_features_beat_histograms_on_structural_classes() {
         let data = labeled_graph_collection(2, CollectionConfig::default());
-        let cfg = NetConfig { hidden: 16, epochs: 200, ..Default::default() };
+        let cfg = NetConfig {
+            hidden: 16,
+            epochs: 200,
+            ..Default::default()
+        };
         let report = train_classifier(&data, 0.3, 24, &cfg, 5);
         assert!(report.n_test >= 10);
         // Classes differ structurally, not in vocabulary: the a-star

@@ -119,7 +119,7 @@ mod tests {
             assert!(!t.train_mask[v as usize]);
             assert!(t.x_observed.row(v as usize).iter().all(|&x| x == 0.0));
             // But the ground truth still knows them.
-            assert!(t.targets.row(v as usize).iter().any(|&x| x == 1.0));
+            assert!(t.targets.row(v as usize).contains(&1.0));
         }
     }
 

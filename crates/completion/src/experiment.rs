@@ -22,7 +22,12 @@ pub struct ExperimentConfig {
 
 impl Default for ExperimentConfig {
     fn default() -> Self {
-        Self { test_fraction: 0.4, seed: 23, net: NetConfig::default(), ks: [10, 20, 50] }
+        Self {
+            test_fraction: 0.4,
+            seed: 23,
+            net: NetConfig::default(),
+            ks: [10, 20, 50],
+        }
     }
 }
 
@@ -37,7 +42,12 @@ pub struct CompletionOutcome {
     pub ndcg: [f64; 3],
 }
 
-fn evaluate(task: &CompletionTask, scores: &Matrix, ks: [usize; 3], name: String) -> CompletionOutcome {
+fn evaluate(
+    task: &CompletionTask,
+    scores: &Matrix,
+    ks: [usize; 3],
+    name: String,
+) -> CompletionOutcome {
     let mut recall = [0.0; 3];
     let mut ndcg = [0.0; 3];
     for &v in &task.test_nodes {
@@ -53,7 +63,11 @@ fn evaluate(task: &CompletionTask, scores: &Matrix, ks: [usize; 3], name: String
         recall[i] /= n;
         ndcg[i] /= n;
     }
-    CompletionOutcome { model: name, recall, ndcg }
+    CompletionOutcome {
+        model: name,
+        recall,
+        ndcg,
+    }
 }
 
 /// Runs the full Table IV protocol on one graph: for each baseline,
@@ -72,7 +86,12 @@ pub fn run_completion(
         let plain_scores = model.predict(&task);
         let fused_scores = fuse_scores(&plain_scores, &cspm_scores);
         let plain = evaluate(&task, &plain_scores, cfg.ks, model.name().to_owned());
-        let fused = evaluate(&task, &fused_scores, cfg.ks, format!("CSPM+{}", model.name()));
+        let fused = evaluate(
+            &task,
+            &fused_scores,
+            cfg.ks,
+            format!("CSPM+{}", model.name()),
+        );
         out.push((plain, fused));
     }
     out
@@ -87,7 +106,11 @@ mod tests {
     fn table4_protocol_runs_and_cspm_helps_on_average() {
         let d = citation_completion(CompletionKind::Cora, Scale::Tiny, 3);
         let cfg = ExperimentConfig {
-            net: NetConfig { hidden: 16, epochs: 40, ..Default::default() },
+            net: NetConfig {
+                hidden: 16,
+                epochs: 40,
+                ..Default::default()
+            },
             ks: [5, 10, 20],
             ..Default::default()
         };
@@ -105,6 +128,9 @@ mod tests {
                 assert!((0.0..=1.0).contains(&fused.ndcg[i]));
             }
         }
-        assert!(deltas > 0.0, "CSPM fusion should help on average, delta {deltas}");
+        assert!(
+            deltas > 0.0,
+            "CSPM fusion should help on average, delta {deltas}"
+        );
     }
 }

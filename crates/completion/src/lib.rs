@@ -18,6 +18,6 @@ mod scoring;
 
 pub use data::CompletionTask;
 pub use experiment::{run_completion, CompletionOutcome, ExperimentConfig};
-pub use metrics::{ndcg_at_k, recall_at_k, rank_top_k};
+pub use metrics::{ndcg_at_k, rank_top_k, recall_at_k};
 pub use models::{all_models, CompletionModel, Gat, Gcn, GraphSage, NeighAggre, Sat, Vae};
 pub use scoring::{fuse_row, fuse_scores, CspmScorer};

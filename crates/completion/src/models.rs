@@ -69,7 +69,14 @@ impl CompletionModel for Vae {
             task.x_observed.cols(),
             self.0.seed,
         );
-        net.fit(&task.x_observed, &task.targets, &task.train_mask, None, None, &self.0);
+        net.fit(
+            &task.x_observed,
+            &task.targets,
+            &task.train_mask,
+            None,
+            None,
+            &self.0,
+        );
         net.forward(&task.x_observed, None, None)
     }
 }
@@ -91,7 +98,14 @@ impl CompletionModel for Gcn {
             task.x_observed.cols(),
             self.0.seed,
         );
-        net.fit(&task.x_observed, &task.targets, &task.train_mask, Some(&p), Some(&p), &self.0);
+        net.fit(
+            &task.x_observed,
+            &task.targets,
+            &task.train_mask,
+            Some(&p),
+            Some(&p),
+            &self.0,
+        );
         net.forward(&task.x_observed, Some(&p), Some(&p))
     }
 }
@@ -143,7 +157,14 @@ impl CompletionModel for Gat {
             task.x_observed.cols(),
             self.0.seed,
         );
-        net.fit(&task.x_observed, &task.targets, &task.train_mask, Some(&p), Some(&p), &self.0);
+        net.fit(
+            &task.x_observed,
+            &task.targets,
+            &task.train_mask,
+            Some(&p),
+            Some(&p),
+            &self.0,
+        );
         net.forward(&task.x_observed, Some(&p), Some(&p))
     }
 }
@@ -182,7 +203,14 @@ impl CompletionModel for GraphSage {
             task.x_observed.cols(),
             self.0.seed,
         );
-        net.fit(&task.x_observed, &task.targets, &task.train_mask, Some(&p), Some(&p), &self.0);
+        net.fit(
+            &task.x_observed,
+            &task.targets,
+            &task.train_mask,
+            Some(&p),
+            Some(&p),
+            &self.0,
+        );
         net.forward(&task.x_observed, Some(&p), Some(&p))
     }
 }
@@ -214,7 +242,14 @@ impl CompletionModel for Sat {
         let p = SparseMatrix::normalized_adjacency(&neighbor_lists(task), 1.0);
         let x = Self::augmented_input(task, &p);
         let mut net = TwoLayerNet::new(x.cols(), self.0.hidden, task.targets.cols(), self.0.seed);
-        net.fit(&x, &task.targets, &task.train_mask, Some(&p), Some(&p), &self.0);
+        net.fit(
+            &x,
+            &task.targets,
+            &task.train_mask,
+            Some(&p),
+            Some(&p),
+            &self.0,
+        );
         net.forward(&x, Some(&p), Some(&p))
     }
 }
@@ -242,7 +277,11 @@ mod tests {
     }
 
     fn quick_cfg() -> NetConfig {
-        NetConfig { hidden: 24, epochs: 150, ..Default::default() }
+        NetConfig {
+            hidden: 24,
+            epochs: 150,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -252,7 +291,10 @@ mod tests {
         assert_eq!(scores.rows(), t.graph.vertex_count());
         assert_eq!(scores.cols(), t.graph.attr_count());
         // Scores are convex combinations of 0/1 rows.
-        assert!(scores.data().iter().all(|&s| (0.0..=1.0 + 1e-9).contains(&s)));
+        assert!(scores
+            .data()
+            .iter()
+            .all(|&s| (0.0..=1.0 + 1e-9).contains(&s)));
     }
 
     #[test]

@@ -25,7 +25,10 @@ impl CspmScorer {
     pub fn fit(task: &CompletionTask) -> Self {
         let observed = task.observed_graph();
         let result = cspm_partial(&observed, CspmConfig::default());
-        Self { model: result.model, n_attrs: task.graph.attr_count() }
+        Self {
+            model: result.model,
+            n_attrs: task.graph.attr_count(),
+        }
     }
 
     /// Builds a scorer from an already-mined model.

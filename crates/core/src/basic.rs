@@ -1,167 +1,19 @@
 //! CSPM-Basic: Algorithm 1 + Algorithm 2 of the paper.
 //!
-//! Every iteration regenerates the full candidate list (all leafset pairs
+//! A thin façade over the unified [`engine`](crate::engine): Basic is
+//! the engine's [`SchedulePolicy::FullRegeneration`] policy — every
+//! iteration regenerates the full candidate list (all leafset pairs
 //! sharing a coreset), picks the pair with the maximum positive gain,
 //! merges it, and repeats until no pair improves compression.
 
-use std::time::Instant;
-
 use cspm_graph::AttributedGraph;
 
-use crate::config::{CspmConfig, IterationStat, RunStats};
-use crate::inverted::{InvertedDb, LeafsetId};
-use crate::model::MinedModel;
-
-/// Result of a CSPM run (either variant).
-#[derive(Debug, Clone)]
-pub struct CspmResult {
-    /// The mined model, ranked by ascending code length.
-    pub model: MinedModel,
-    /// The converged inverted database.
-    pub db: InvertedDb,
-    /// Total DL before any merge (singleton-leafset model).
-    pub initial_dl: f64,
-    /// Total DL after convergence.
-    pub final_dl: f64,
-    /// Number of accepted merges.
-    pub merges: usize,
-    /// Run statistics.
-    pub stats: RunStats,
-}
-
-impl CspmResult {
-    /// Compression ratio `final/initial` (lower = better).
-    pub fn compression_ratio(&self) -> f64 {
-        if self.initial_dl == 0.0 {
-            1.0
-        } else {
-            self.final_dl / self.initial_dl
-        }
-    }
-}
+use crate::config::CspmConfig;
+use crate::engine::{mine_with_policy, CspmResult, SchedulePolicy};
 
 /// Runs CSPM-Basic on an attributed graph.
 pub fn cspm_basic(g: &AttributedGraph, config: CspmConfig) -> CspmResult {
-    let started = Instant::now();
-    let mut db = InvertedDb::build(g, config.coreset_mode, config.gain_policy);
-    let initial_dl = db.total_dl();
-    let mut stats = RunStats::default();
-    let mut merges = 0usize;
-
-    loop {
-        if config.max_merges.is_some_and(|m| merges >= m) {
-            break;
-        }
-        // Algorithm 2: compute the gain of every sharing pair and keep
-        // the positive ones; then pop the best (Algorithm 1 line 8).
-        let pairs = db.sharing_pairs();
-        let gain_evals = pairs.len() as u64;
-        stats.total_gain_evals += gain_evals;
-        let Some((x, y, gain)) = best_pair(&db, &pairs) else { break };
-        let outcome = db.merge(x, y);
-        debug_assert!(outcome.merged_any);
-        merges += 1;
-        if config.collect_stats {
-            let n = db.live_leafset_count() as u64;
-            stats.iterations.push(IterationStat {
-                gain_evals,
-                possible_pairs: n * n.saturating_sub(1) / 2,
-                accepted_gain: gain,
-                dl_after: db.total_dl(),
-                data_dl_after: db.data_cost(),
-            });
-        }
-    }
-
-    stats.elapsed_secs = started.elapsed().as_secs_f64();
-    CspmResult {
-        model: MinedModel::from_db(&db),
-        initial_dl,
-        final_dl: db.total_dl(),
-        merges,
-        stats,
-        db,
-    }
-}
-
-/// Candidate sweeps beyond this size are evaluated across threads.
-const PARALLEL_THRESHOLD: usize = 8_192;
-
-/// The pair with the maximum positive gain, ties broken towards the
-/// smallest `(x, y)` — identical selection in the sequential and
-/// parallel paths, so CSPM-Basic stays deterministic.
-fn best_pair(
-    db: &InvertedDb,
-    pairs: &[(LeafsetId, LeafsetId)],
-) -> Option<(LeafsetId, LeafsetId, f64)> {
-    if pairs.len() >= PARALLEL_THRESHOLD {
-        best_pair_parallel(db, pairs)
-    } else {
-        best_pair_sequential(db, pairs)
-    }
-}
-
-fn better(
-    current: Option<(LeafsetId, LeafsetId, f64)>,
-    candidate: (LeafsetId, LeafsetId, f64),
-) -> Option<(LeafsetId, LeafsetId, f64)> {
-    match current {
-        None => Some(candidate),
-        Some((cx, cy, cg)) => {
-            let replace = candidate.2 > cg
-                || (candidate.2 == cg && (candidate.0, candidate.1) < (cx, cy));
-            Some(if replace { candidate } else { (cx, cy, cg) })
-        }
-    }
-}
-
-fn best_pair_sequential(
-    db: &InvertedDb,
-    pairs: &[(LeafsetId, LeafsetId)],
-) -> Option<(LeafsetId, LeafsetId, f64)> {
-    let mut best = None;
-    for &(x, y) in pairs {
-        let gain = db.pair_gain(x, y);
-        if gain > 1e-9 {
-            best = better(best, (x, y, gain));
-        }
-    }
-    best
-}
-
-/// Parallel candidate sweep (a shared-memory step towards the paper's
-/// future-work item (3), a distributed CSPM): the inverted database is
-/// read-only during gain evaluation, so chunks of the pair list are
-/// scored on worker threads and the per-thread winners reduced with the
-/// same tie-breaking as the sequential sweep.
-fn best_pair_parallel(
-    db: &InvertedDb,
-    pairs: &[(LeafsetId, LeafsetId)],
-) -> Option<(LeafsetId, LeafsetId, f64)> {
-    let n_threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(8)
-        .max(1);
-    if n_threads == 1 {
-        return best_pair_sequential(db, pairs);
-    }
-    let chunk = pairs.len().div_ceil(n_threads);
-    let locals = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = pairs
-            .chunks(chunk)
-            .map(|slice| scope.spawn(move |_| best_pair_sequential(db, slice)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("gain worker must not panic"))
-            .collect::<Vec<_>>()
-    })
-    .expect("scoped threads never outlive the scope");
-    locals
-        .into_iter()
-        .flatten()
-        .fold(None, |acc, cand| better(acc, cand))
+    mine_with_policy(g, SchedulePolicy::FullRegeneration, config)
 }
 
 #[cfg(test)]
@@ -174,7 +26,13 @@ mod tests {
     #[test]
     fn converges_on_paper_example() {
         let (g, at) = paper_example();
-        let res = cspm_basic(&g, CspmConfig { gain_policy: GainPolicy::DataOnly, ..CspmConfig::instrumented() });
+        let res = cspm_basic(
+            &g,
+            CspmConfig {
+                gain_policy: GainPolicy::DataOnly,
+                ..CspmConfig::instrumented()
+            },
+        );
         assert!(res.final_dl <= res.initial_dl + 1e-9);
         // §IV-E: merging {b} and {c} compresses the example database, so
         // at least one merge happens and a {b,c} leafset pattern exists.
@@ -231,9 +89,7 @@ mod tests {
             .model
             .astars()
             .iter()
-            .find(|m| {
-                m.astar.leafset().contains(&l0) && m.astar.leafset().contains(&l1)
-            });
+            .find(|m| m.astar.leafset().contains(&l0) && m.astar.leafset().contains(&l1));
         assert!(planted.is_some(), "planted {{l0,l1}} correlation not found");
         // A merged (multi-leaf) pattern should rank among the most
         // informative entries of the model.
@@ -249,32 +105,14 @@ mod tests {
     #[test]
     fn max_merges_cap_is_respected() {
         let (g, _) = paper_example();
-        let res = cspm_basic(&g, CspmConfig { max_merges: Some(0), ..Default::default() });
+        let res = cspm_basic(
+            &g,
+            CspmConfig {
+                max_merges: Some(0),
+                ..Default::default()
+            },
+        );
         assert_eq!(res.merges, 0);
         assert!((res.final_dl - res.initial_dl).abs() < 1e-12);
-    }
-
-    #[test]
-    fn parallel_sweep_matches_sequential_selection() {
-        use crate::inverted::InvertedDb;
-        use crate::config::CoresetMode;
-        let d = cspm_graph::fixtures::labelled_path(60, 5);
-        let db = InvertedDb::build(&d, CoresetMode::SingleValue, GainPolicy::Total);
-        let pairs = db.sharing_pairs();
-        assert!(!pairs.is_empty());
-        let seq = super::best_pair_sequential(&db, &pairs);
-        let par = super::best_pair_parallel(&db, &pairs);
-        assert_eq!(seq.map(|(x, y, _)| (x, y)), par.map(|(x, y, _)| (x, y)));
-        if let (Some(s), Some(p)) = (seq, par) {
-            assert!((s.2 - p.2).abs() < 1e-12);
-        }
-    }
-
-    #[test]
-    fn tie_breaking_prefers_smallest_pair() {
-        assert_eq!(super::better(None, (3, 4, 1.0)), Some((3, 4, 1.0)));
-        assert_eq!(super::better(Some((3, 4, 1.0)), (1, 2, 1.0)), Some((1, 2, 1.0)));
-        assert_eq!(super::better(Some((1, 2, 1.0)), (3, 4, 1.0)), Some((1, 2, 1.0)));
-        assert_eq!(super::better(Some((1, 2, 1.0)), (3, 4, 2.0)), Some((3, 4, 2.0)));
     }
 }

@@ -51,7 +51,10 @@ pub struct CspmConfig {
 impl CspmConfig {
     /// Paper-default configuration with statistics collection enabled.
     pub fn instrumented() -> Self {
-        Self { collect_stats: true, ..Self::default() }
+        Self {
+            collect_stats: true,
+            ..Self::default()
+        }
     }
 }
 

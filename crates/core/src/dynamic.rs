@@ -4,9 +4,9 @@
 use cspm_graph::dynamic::SnapshotSequence;
 use cspm_graph::VertexId;
 
-use crate::basic::CspmResult;
 use crate::config::CspmConfig;
-use crate::{mine, Variant};
+use crate::engine::{mine_with_policy, CspmResult};
+use crate::Variant;
 
 /// A mined a-star with its occurrences resolved to `(snapshot, vertex)`
 /// coordinates.
@@ -33,24 +33,17 @@ pub struct DynamicResult {
 /// Mines a snapshot sequence by running CSPM on its disjoint union and
 /// mapping the positions of every mined a-star back to
 /// `(snapshot, vertex)` coordinates.
-pub fn mine_dynamic(
-    seq: &SnapshotSequence,
-    variant: Variant,
-    config: CspmConfig,
-) -> DynamicResult {
+pub fn mine_dynamic(seq: &SnapshotSequence, variant: Variant, config: CspmConfig) -> DynamicResult {
     let union = seq.union_graph();
-    let result = mine(&union, variant, config);
+    let result = mine_with_policy(&union, variant.policy(), config);
     let temporal = result
         .model
         .astars()
         .iter()
         .enumerate()
         .map(|(i, m)| {
-            let occurrences: Vec<(usize, VertexId)> = m
-                .positions
-                .iter()
-                .filter_map(|&v| seq.locate(v))
-                .collect();
+            let occurrences: Vec<(usize, VertexId)> =
+                m.positions.iter().filter_map(|&v| seq.locate(v)).collect();
             let mut snapshots: Vec<usize> = occurrences.iter().map(|&(s, _)| s).collect();
             snapshots.sort_unstable();
             snapshots.dedup();
@@ -115,7 +108,7 @@ mod tests {
         let t = &dyn_res.temporal[idx];
         assert_eq!(t.snapshot_support, 3);
         assert_eq!(t.occurrences.len(), model.astars()[idx].positions.len());
-        assert_eq!(dyn_res.persistent(3).count() >= 1, true);
+        assert!(dyn_res.persistent(3).count() >= 1);
     }
 
     #[test]

@@ -1,0 +1,527 @@
+//! The unified mining engine: one greedy merge loop that both CSPM
+//! variants (and dynamic mining, the CLI, and the benchmarks) compile
+//! down to.
+//!
+//! # Mapping back to the paper
+//!
+//! The paper presents CSPM twice: Algorithm 1 ("CSPM-Basic") recomputes
+//! every candidate gain after each merge (its candidate generation is
+//! Algorithm 2), while Algorithm 3 ("CSPM-Partial", §V) keeps the
+//! candidate set warm across merges and repairs only the entries a merge
+//! could have changed (its update step is Algorithm 4, driven by the
+//! `rdict` relation index). Both are the *same* greedy loop over the
+//! inverted database of §IV-B — pick the best positive-gain pair (Eq.
+//! 9), apply the merge of §IV-E, repeat — differing only in how the
+//! candidate pool is maintained. This module implements that loop once:
+//!
+//! * [`CandidateScheduler`] — a gain-ordered priority queue over leafset
+//!   pairs with the per-leafset partner index (`rdict`) of §V, shared by
+//!   both policies;
+//! * [`SchedulePolicy::FullRegeneration`] — Algorithm 1: the scheduler
+//!   is cleared and reseeded from every sharing pair after each merge
+//!   (large sweeps are evaluated across threads);
+//! * [`SchedulePolicy::Incremental`] — Algorithm 3: popped gains are
+//!   lazily revalidated (recomputed once before use, preserving the
+//!   monotone-DL invariant), the new pattern is evaluated against
+//!   `rdict[x] ∩ rdict[y]`, and pairs of partly-merged parents are
+//!   re-scored — exactly the three update rules of Algorithm 4.
+//!
+//! The merge arithmetic itself lives in [`InvertedDb`](crate::InvertedDb)
+//! over the flat [`PostingStore`](crate::positions::PostingStore) arena,
+//! so the hot path of §IV-E runs over contiguous `(offset, len)` slices
+//! rather than per-row heap allocations.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, HashMap};
+use std::time::Instant;
+
+use cspm_graph::AttributedGraph;
+use cspm_mdl::OrdF64;
+
+use crate::config::{CspmConfig, IterationStat, RunStats};
+use crate::inverted::{InvertedDb, LeafsetId};
+use crate::model::MinedModel;
+
+/// Gains this close to zero are treated as "no improvement".
+const GAIN_EPS: f64 = 1e-9;
+
+/// How the engine maintains its candidate pool between merges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulePolicy {
+    /// Algorithm 1: regenerate every candidate gain after each merge.
+    FullRegeneration,
+    /// Algorithm 3 (§V): keep candidates warm, repair incrementally,
+    /// revalidate lazily on pop. The default, as in the paper's
+    /// applications.
+    #[default]
+    Incremental,
+}
+
+/// Result of a CSPM run (either variant).
+#[derive(Debug, Clone)]
+pub struct CspmResult {
+    /// The mined model, ranked by ascending code length.
+    pub model: MinedModel,
+    /// The converged inverted database.
+    pub db: InvertedDb,
+    /// Total DL before any merge (singleton-leafset model).
+    pub initial_dl: f64,
+    /// Total DL after convergence.
+    pub final_dl: f64,
+    /// Number of accepted merges.
+    pub merges: usize,
+    /// Run statistics.
+    pub stats: RunStats,
+}
+
+impl CspmResult {
+    /// Compression ratio `final/initial` (lower = better).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.initial_dl == 0.0 {
+            1.0
+        } else {
+            self.final_dl / self.initial_dl
+        }
+    }
+}
+
+/// Gain-ordered candidate pool with per-leafset partner indexing.
+///
+/// Generalises the paper's `rdict` (§V): pairs are kept in a total order
+/// `(gain, smallest-pair-first)` so [`Self::pop_max`] is deterministic
+/// under gain ties, and every leafset knows its current partners so
+/// merge updates touch only the affected entries.
+#[derive(Debug, Default, Clone)]
+pub struct CandidateScheduler {
+    gains: HashMap<(LeafsetId, LeafsetId), f64>,
+    order: BTreeSet<(OrdF64, Reverse<LeafsetId>, Reverse<LeafsetId>)>,
+    /// `rdict`: leafset → related leafsets (partners in stored pairs).
+    rdict: HashMap<LeafsetId, BTreeSet<LeafsetId>>,
+}
+
+impl CandidateScheduler {
+    fn key(x: LeafsetId, y: LeafsetId) -> (LeafsetId, LeafsetId) {
+        (x.min(y), x.max(y))
+    }
+
+    /// Inserts or updates a pair's stored gain.
+    pub fn upsert(&mut self, x: LeafsetId, y: LeafsetId, gain: f64) {
+        let key = Self::key(x, y);
+        if let Some(old) = self.gains.insert(key, gain) {
+            self.order
+                .remove(&(OrdF64(old), Reverse(key.0), Reverse(key.1)));
+        }
+        self.order
+            .insert((OrdF64(gain), Reverse(key.0), Reverse(key.1)));
+        self.rdict.entry(x).or_default().insert(y);
+        self.rdict.entry(y).or_default().insert(x);
+    }
+
+    /// Drops one pair, if stored.
+    pub fn remove_pair(&mut self, x: LeafsetId, y: LeafsetId) {
+        let key = Self::key(x, y);
+        if let Some(old) = self.gains.remove(&key) {
+            self.order
+                .remove(&(OrdF64(old), Reverse(key.0), Reverse(key.1)));
+        }
+        self.unrelate(x, y);
+        self.unrelate(y, x);
+    }
+
+    fn unrelate(&mut self, a: LeafsetId, b: LeafsetId) {
+        if let Some(s) = self.rdict.get_mut(&a) {
+            s.remove(&b);
+            if s.is_empty() {
+                self.rdict.remove(&a);
+            }
+        }
+    }
+
+    /// Removes every pair involving `l` (Algorithm 4, step 1).
+    pub fn remove_leafset(&mut self, l: LeafsetId) {
+        if let Some(partners) = self.rdict.remove(&l) {
+            for p in partners {
+                let key = Self::key(l, p);
+                if let Some(old) = self.gains.remove(&key) {
+                    self.order
+                        .remove(&(OrdF64(old), Reverse(key.0), Reverse(key.1)));
+                }
+                self.unrelate(p, l);
+            }
+        }
+    }
+
+    /// Pops the stored pair with the maximum gain; gain ties break
+    /// towards the smallest `(x, y)`.
+    pub fn pop_max(&mut self) -> Option<(LeafsetId, LeafsetId, f64)> {
+        let &(OrdF64(gain), Reverse(x), Reverse(y)) = self.order.last()?;
+        self.remove_pair(x, y);
+        Some((x, y, gain))
+    }
+
+    /// Current partners of `l` (`rdict[l]`).
+    pub fn related(&self, l: LeafsetId) -> BTreeSet<LeafsetId> {
+        self.rdict.get(&l).cloned().unwrap_or_default()
+    }
+
+    /// Whether no pair is stored.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Number of stored pairs.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Drops every stored pair.
+    pub fn clear(&mut self) {
+        self.gains.clear();
+        self.order.clear();
+        self.rdict.clear();
+    }
+}
+
+/// Runs the engine on an attributed graph.
+pub fn mine_with_policy(
+    g: &AttributedGraph,
+    policy: SchedulePolicy,
+    config: CspmConfig,
+) -> CspmResult {
+    let started = Instant::now();
+    let db = InvertedDb::build(g, config.coreset_mode, config.gain_policy);
+    let mut result = run_on_db(db, policy, config);
+    result.stats.elapsed_secs = started.elapsed().as_secs_f64();
+    result
+}
+
+/// Runs the greedy merge loop on a pre-built inverted database — the
+/// shared core of CSPM-Basic, CSPM-Partial, and dynamic mining. Exposed
+/// so benchmarks can time the merge loop apart from database
+/// construction.
+pub fn run_on_db(mut db: InvertedDb, policy: SchedulePolicy, config: CspmConfig) -> CspmResult {
+    let started = Instant::now();
+    let initial_dl = db.total_dl();
+    let mut stats = RunStats::default();
+    let mut merges = 0usize;
+    let mut scheduler = CandidateScheduler::default();
+    let cap_reached = |merges: usize| config.max_merges.is_some_and(|m| merges >= m);
+
+    // Algorithm 1 line 5 / Algorithm 3 lines 5–6: the initial candidate
+    // pool. FullRegeneration only ever needs the front of the queue —
+    // everything else is regenerated after the next merge anyway. A
+    // pre-satisfied merge cap skips the sweep entirely.
+    if !cap_reached(merges) {
+        stats.total_gain_evals += seed(&db, &mut scheduler, policy);
+    }
+
+    while !scheduler.is_empty() {
+        if cap_reached(merges) {
+            break;
+        }
+        let Some((x, y, stored)) = scheduler.pop_max() else {
+            break;
+        };
+        let mut gain_evals = 0u64;
+        let gain = match policy {
+            // Freshly regenerated this round: the stored gain is exact.
+            SchedulePolicy::FullRegeneration => stored,
+            // Lazy revalidation: untouched pairs can go stale when a
+            // shared coreset's total frequency changes; recompute once
+            // before committing (preserves the monotone-DL invariant).
+            SchedulePolicy::Incremental => {
+                gain_evals += 1;
+                db.pair_gain(x, y)
+            }
+        };
+        if gain <= GAIN_EPS {
+            stats.total_gain_evals += gain_evals;
+            continue;
+        }
+        // Capture relations before any removal (the new pattern inherits
+        // candidate partners from both parents).
+        let (rel_x, rel_y) = match policy {
+            SchedulePolicy::Incremental => (scheduler.related(x), scheduler.related(y)),
+            SchedulePolicy::FullRegeneration => Default::default(),
+        };
+        let outcome = db.merge(x, y);
+        debug_assert!(outcome.merged_any);
+        merges += 1;
+
+        match policy {
+            SchedulePolicy::FullRegeneration => {
+                scheduler.clear();
+                // Skip the regeneration sweep after the final permitted
+                // merge — the loop is about to break on the cap anyway.
+                if !cap_reached(merges) {
+                    gain_evals += seed(&db, &mut scheduler, policy);
+                }
+            }
+            SchedulePolicy::Incremental => {
+                let n = outcome.new_leafset;
+                // (1) Remove totally merged leafsets from the pool.
+                if outcome.x_removed {
+                    scheduler.remove_leafset(x);
+                }
+                if outcome.y_removed {
+                    scheduler.remove_leafset(y);
+                }
+                // (2) Add pairs with the new leafset: rdict[x] ∩ rdict[y].
+                for &rel in rel_x.intersection(&rel_y) {
+                    if rel == n || !db.is_live(rel) || !db.is_live(n) {
+                        continue;
+                    }
+                    gain_evals += 1;
+                    let gain = db.pair_gain(rel, n);
+                    if gain > GAIN_EPS {
+                        scheduler.upsert(rel, n, gain);
+                    }
+                }
+                // (3) Update influenced pairs: partners of partly merged
+                // parents (frequencies only shrink; gains may flip
+                // negative).
+                for (parent, removed) in [(x, outcome.x_removed), (y, outcome.y_removed)] {
+                    if removed {
+                        continue;
+                    }
+                    for rel in scheduler.related(parent) {
+                        gain_evals += 1;
+                        let gain = db.pair_gain(parent, rel);
+                        if gain > GAIN_EPS {
+                            scheduler.upsert(parent, rel, gain);
+                        } else {
+                            scheduler.remove_pair(parent, rel);
+                        }
+                    }
+                }
+            }
+        }
+
+        stats.total_gain_evals += gain_evals;
+        if config.collect_stats {
+            let live = db.live_leafset_count() as u64;
+            stats.iterations.push(IterationStat {
+                gain_evals,
+                possible_pairs: live * live.saturating_sub(1) / 2,
+                accepted_gain: gain,
+                dl_after: db.total_dl(),
+                data_dl_after: db.data_cost(),
+            });
+        }
+    }
+
+    stats.elapsed_secs = started.elapsed().as_secs_f64();
+    CspmResult {
+        model: MinedModel::from_db(&db),
+        initial_dl,
+        final_dl: db.total_dl(),
+        merges,
+        stats,
+        db,
+    }
+}
+
+/// (Re)fills the scheduler from the database's sharing pairs. Returns
+/// the number of gain evaluations spent. Under `FullRegeneration` only
+/// the best pair is retained (Algorithm 2 reduced on the fly); under
+/// `Incremental` every positive pair is stored.
+fn seed(db: &InvertedDb, scheduler: &mut CandidateScheduler, policy: SchedulePolicy) -> u64 {
+    let pairs = db.sharing_pairs();
+    let evals = pairs.len() as u64;
+    match policy {
+        SchedulePolicy::FullRegeneration => {
+            if let Some((x, y, gain)) = best_pair(db, &pairs) {
+                scheduler.upsert(x, y, gain);
+            }
+        }
+        SchedulePolicy::Incremental => {
+            for (x, y) in pairs {
+                let gain = db.pair_gain(x, y);
+                if gain > GAIN_EPS {
+                    scheduler.upsert(x, y, gain);
+                }
+            }
+        }
+    }
+    evals
+}
+
+/// Candidate sweeps beyond this size are evaluated across threads.
+const PARALLEL_THRESHOLD: usize = 8_192;
+
+/// The pair with the maximum positive gain, ties broken towards the
+/// smallest `(x, y)` — identical selection in the sequential and
+/// parallel paths, so full-regeneration mining stays deterministic.
+fn best_pair(
+    db: &InvertedDb,
+    pairs: &[(LeafsetId, LeafsetId)],
+) -> Option<(LeafsetId, LeafsetId, f64)> {
+    if pairs.len() >= PARALLEL_THRESHOLD {
+        best_pair_parallel(db, pairs)
+    } else {
+        best_pair_sequential(db, pairs)
+    }
+}
+
+fn better(
+    current: Option<(LeafsetId, LeafsetId, f64)>,
+    candidate: (LeafsetId, LeafsetId, f64),
+) -> Option<(LeafsetId, LeafsetId, f64)> {
+    match current {
+        None => Some(candidate),
+        Some((cx, cy, cg)) => {
+            let replace =
+                candidate.2 > cg || (candidate.2 == cg && (candidate.0, candidate.1) < (cx, cy));
+            Some(if replace { candidate } else { (cx, cy, cg) })
+        }
+    }
+}
+
+fn best_pair_sequential(
+    db: &InvertedDb,
+    pairs: &[(LeafsetId, LeafsetId)],
+) -> Option<(LeafsetId, LeafsetId, f64)> {
+    let mut best = None;
+    for &(x, y) in pairs {
+        let gain = db.pair_gain(x, y);
+        if gain > GAIN_EPS {
+            best = better(best, (x, y, gain));
+        }
+    }
+    best
+}
+
+/// Parallel candidate sweep (a shared-memory step towards the paper's
+/// future-work item (3), a distributed CSPM): the inverted database is
+/// read-only during gain evaluation, so chunks of the pair list are
+/// scored on scoped worker threads and the per-thread winners reduced
+/// with the same tie-breaking as the sequential sweep.
+fn best_pair_parallel(
+    db: &InvertedDb,
+    pairs: &[(LeafsetId, LeafsetId)],
+) -> Option<(LeafsetId, LeafsetId, f64)> {
+    let n_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, 8);
+    if n_threads == 1 {
+        return best_pair_sequential(db, pairs);
+    }
+    let chunk = pairs.len().div_ceil(n_threads);
+    let locals = std::thread::scope(|scope| {
+        let handles: Vec<_> = pairs
+            .chunks(chunk)
+            .map(|slice| scope.spawn(move || best_pair_sequential(db, slice)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("gain worker must not panic"))
+            .collect::<Vec<_>>()
+    });
+    locals.into_iter().flatten().fold(None, better)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CoresetMode, GainPolicy};
+    use cspm_graph::fixtures::paper_example;
+
+    #[test]
+    fn scheduler_invariants() {
+        let mut c = CandidateScheduler::default();
+        c.upsert(1, 2, 3.0);
+        c.upsert(2, 3, 5.0);
+        c.upsert(1, 3, 4.0);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.pop_max(), Some((2, 3, 5.0)));
+        c.upsert(1, 2, 10.0); // update overwrites
+        assert_eq!(c.pop_max(), Some((1, 2, 10.0)));
+        c.remove_leafset(3);
+        assert!(c.is_empty());
+        c.upsert(4, 5, 1.0);
+        c.clear();
+        assert!(c.is_empty() && c.related(4).is_empty());
+    }
+
+    #[test]
+    fn pop_ties_break_towards_smallest_pair() {
+        let mut c = CandidateScheduler::default();
+        c.upsert(7, 9, 2.0);
+        c.upsert(1, 4, 2.0);
+        c.upsert(1, 3, 2.0);
+        assert_eq!(c.pop_max(), Some((1, 3, 2.0)));
+        assert_eq!(c.pop_max(), Some((1, 4, 2.0)));
+        assert_eq!(c.pop_max(), Some((7, 9, 2.0)));
+        assert_eq!(c.pop_max(), None);
+    }
+
+    #[test]
+    fn policies_agree_on_paper_example() {
+        // Under DataOnly pricing the two policies take identical greedy
+        // paths on the paper example. (Under Total, Incremental may
+        // legitimately stop earlier: Algorithm 3 only considers new
+        // pairs from rdict[x] ∩ rdict[y], and a pair whose model cost
+        // made it unprofitable before a merge is never revisited — the
+        // trade-off §V accepts for its speed.)
+        let (g, _) = paper_example();
+        let cfg = CspmConfig {
+            gain_policy: GainPolicy::DataOnly,
+            ..Default::default()
+        };
+        let full = mine_with_policy(&g, SchedulePolicy::FullRegeneration, cfg);
+        let inc = mine_with_policy(&g, SchedulePolicy::Incremental, cfg);
+        assert!((full.final_dl - inc.final_dl).abs() < 1e-6);
+        assert_eq!(full.merges, inc.merges);
+        assert!(full.final_dl <= full.initial_dl);
+    }
+
+    #[test]
+    fn both_policies_are_sound_under_total_pricing() {
+        let (g, _) = paper_example();
+        for policy in [
+            SchedulePolicy::FullRegeneration,
+            SchedulePolicy::Incremental,
+        ] {
+            let res = mine_with_policy(&g, policy, CspmConfig::instrumented());
+            assert!(res.final_dl <= res.initial_dl + 1e-9);
+            let mut prev = res.initial_dl;
+            for it in &res.stats.iterations {
+                assert!(it.dl_after < prev + 1e-9, "total DL must be monotone");
+                prev = it.dl_after;
+            }
+        }
+    }
+
+    #[test]
+    fn run_on_db_matches_mine_with_policy() {
+        let (g, _) = paper_example();
+        let db = InvertedDb::build(&g, CoresetMode::SingleValue, GainPolicy::Total);
+        let via_db = run_on_db(db, SchedulePolicy::Incremental, CspmConfig::default());
+        let via_graph = mine_with_policy(&g, SchedulePolicy::Incremental, CspmConfig::default());
+        assert_eq!(via_db.merges, via_graph.merges);
+        assert!((via_db.final_dl - via_graph.final_dl).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential_selection() {
+        let d = cspm_graph::fixtures::labelled_path(60, 5);
+        let db = InvertedDb::build(&d, CoresetMode::SingleValue, GainPolicy::Total);
+        let pairs = db.sharing_pairs();
+        assert!(!pairs.is_empty());
+        let seq = best_pair_sequential(&db, &pairs);
+        let par = best_pair_parallel(&db, &pairs);
+        assert_eq!(seq.map(|(x, y, _)| (x, y)), par.map(|(x, y, _)| (x, y)));
+        if let (Some(s), Some(p)) = (seq, par) {
+            assert!((s.2 - p.2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn tie_breaking_prefers_smallest_pair() {
+        assert_eq!(better(None, (3, 4, 1.0)), Some((3, 4, 1.0)));
+        assert_eq!(better(Some((3, 4, 1.0)), (1, 2, 1.0)), Some((1, 2, 1.0)));
+        assert_eq!(better(Some((1, 2, 1.0)), (3, 4, 1.0)), Some((1, 2, 1.0)));
+        assert_eq!(better(Some((1, 2, 1.0)), (3, 4, 2.0)), Some((3, 4, 2.0)));
+    }
+}

@@ -30,7 +30,7 @@ use cspm_itemset::{krimp, slim, KrimpConfig, SlimConfig, TransactionDb};
 use cspm_mdl::{xlog2x, StandardCodeTable};
 
 use crate::config::{CoresetMode, GainPolicy};
-use crate::positions::{difference_inplace, intersect, intersect_count, union};
+use crate::positions::{intersect_count, PostingStore, RowId};
 
 /// Index into the coreset registry.
 pub type CoresetId = u32;
@@ -72,8 +72,12 @@ pub struct InvertedDb {
     coresets: Vec<Coreset>,
     leafsets: Vec<Vec<AttrId>>,
     leafset_index: HashMap<Vec<AttrId>, LeafsetId>,
-    /// `rows[e]`: leafset → sorted positions, for coreset `e`.
-    rows: Vec<HashMap<LeafsetId, Vec<VertexId>>>,
+    /// Flat arena holding every row's sorted positions.
+    store: PostingStore,
+    /// `rows[e]`: leafset → posting-list row, for coreset `e`.
+    rows: Vec<HashMap<LeafsetId, RowId>>,
+    /// Reusable intersection buffer for [`Self::merge`].
+    scratch_common: Vec<VertexId>,
     /// Reverse index: coresets in which each leafset currently has a row.
     leafset_coresets: Vec<Vec<CoresetId>>,
     /// `c_j`: Σ fL over the rows of each coreset.
@@ -94,19 +98,32 @@ impl InvertedDb {
     pub fn build(g: &AttributedGraph, mode: CoresetMode, gain_policy: GainPolicy) -> Self {
         let mapping = g.mapping_table();
         let st = StandardCodeTable::from_counts(
-            (0..g.attr_count()).map(|a| mapping.frequency(a as AttrId) as u64).collect(),
+            (0..g.attr_count())
+                .map(|a| mapping.frequency(a as AttrId) as u64)
+                .collect(),
         );
         // Step 1: determine the coresets and their occurrences.
         let coreset_occurrences: Vec<(Vec<AttrId>, f64, Vec<VertexId>)> = match mode {
             CoresetMode::SingleValue => (0..g.attr_count() as AttrId)
                 .filter(|&a| mapping.frequency(a) > 0)
                 .map(|a| {
-                    (vec![a], st.code_len(a as usize), mapping.positions(a).to_vec())
+                    (
+                        vec![a],
+                        st.code_len(a as usize),
+                        mapping.positions(a).to_vec(),
+                    )
                 })
                 .collect(),
             CoresetMode::Krimp { min_support } => {
                 let db = vertex_transactions(g);
-                let res = krimp(&db, KrimpConfig { min_support, prune: true, closed_candidates: true });
+                let res = krimp(
+                    &db,
+                    KrimpConfig {
+                        min_support,
+                        prune: true,
+                        closed_candidates: true,
+                    },
+                );
                 coresets_from_code_table(&res.code_table, &db)
             }
             CoresetMode::Slim => {
@@ -121,7 +138,12 @@ impl InvertedDb {
             coresets: Vec::new(),
             leafsets: Vec::new(),
             leafset_index: HashMap::new(),
+            // Initial rows materialise roughly one position per
+            // (edge endpoint, leaf value); the label-pair count is a
+            // cheap, same-order lower bound to pre-size the arena.
+            store: PostingStore::with_capacity(g.label_pair_count()),
             rows: Vec::new(),
+            scratch_common: Vec::new(),
             leafset_coresets: Vec::new(),
             coreset_freq: Vec::new(),
             live_leafsets: 0,
@@ -135,7 +157,11 @@ impl InvertedDb {
         for (items, code_len, positions) in coreset_occurrences {
             let st_cost = this.st.set_cost(items.iter().map(|&a| a as usize));
             this.ctc_cost += st_cost + code_len;
-            this.coresets.push(Coreset { items, code_len, positions });
+            this.coresets.push(Coreset {
+                items,
+                code_len,
+                positions,
+            });
             this.rows.push(HashMap::new());
             this.coreset_freq.push(0);
         }
@@ -161,7 +187,7 @@ impl InvertedDb {
             leaves.sort_by_key(|(a, _)| *a);
             for (leaf, pos) in leaves {
                 let lid = this.intern_leafset(vec![leaf]);
-                this.add_row(e as CoresetId, lid, pos);
+                this.add_row(e as CoresetId, lid, &pos);
             }
         }
         this
@@ -180,7 +206,7 @@ impl InvertedDb {
 
     /// Inserts a brand-new row, updating all bookkeeping. Positions must
     /// be sorted and non-empty, and the row must not already exist.
-    fn add_row(&mut self, e: CoresetId, lid: LeafsetId, positions: Vec<VertexId>) {
+    fn add_row(&mut self, e: CoresetId, lid: LeafsetId, positions: &[VertexId]) {
         debug_assert!(!positions.is_empty());
         debug_assert!(positions.windows(2).all(|w| w[0] < w[1]));
         let fl = positions.len() as u64;
@@ -190,7 +216,8 @@ impl InvertedDb {
         self.coreset_freq[e as usize] = fe + fl;
         self.term2 += xlog2x(fl as f64);
         self.material_cost += self.leafset_st_cost(lid) + self.coresets[e as usize].code_len;
-        let existed = self.rows[e as usize].insert(lid, positions).is_some();
+        let row = self.store.insert(positions);
+        let existed = self.rows[e as usize].insert(lid, row).is_some();
         debug_assert!(!existed, "add_row on existing row");
         let cs = &mut self.leafset_coresets[lid as usize];
         if cs.is_empty() {
@@ -279,7 +306,12 @@ impl InvertedDb {
 
     /// Positions of row `(e, lid)`, if present.
     pub fn row_positions(&self, e: CoresetId, lid: LeafsetId) -> Option<&[VertexId]> {
-        self.rows[e as usize].get(&lid).map(Vec::as_slice)
+        self.rows[e as usize].get(&lid).map(|&r| self.store.get(r))
+    }
+
+    /// The flat posting-list arena backing all rows.
+    pub fn posting_store(&self) -> &PostingStore {
+        &self.store
     }
 
     /// `c_j` of a coreset: Σ fL of its rows.
@@ -289,9 +321,9 @@ impl InvertedDb {
 
     /// Iterates all rows as `(coreset, leafset, positions)`.
     pub fn iter_rows(&self) -> impl Iterator<Item = (CoresetId, LeafsetId, &[VertexId])> {
-        self.rows.iter().enumerate().flat_map(|(e, m)| {
+        self.rows.iter().enumerate().flat_map(move |(e, m)| {
             m.iter()
-                .map(move |(&l, p)| (e as CoresetId, l, p.as_slice()))
+                .map(move |(&l, &r)| (e as CoresetId, l, self.store.get(r)))
         })
     }
 
@@ -333,14 +365,16 @@ impl InvertedDb {
         let mut merged_any = false;
         for (&e, px) in self.shared_rows(x, y) {
             let py = match self.rows[e as usize].get(&y) {
-                Some(p) => p,
+                Some(&r) => self.store.get(r),
                 None => continue,
             };
-            let existing = union_id.and_then(|n| self.rows[e as usize].get(&n));
+            let existing = union_id
+                .and_then(|n| self.rows[e as usize].get(&n))
+                .map(|&r| self.store.get(r));
             let (xy, grown) = match existing {
                 // Collision path: need the union row's actual growth.
                 Some(pn) => {
-                    let common = intersect(px, py);
+                    let common = crate::positions::intersect(px, py);
                     if common.is_empty() {
                         continue;
                     }
@@ -364,8 +398,7 @@ impl InvertedDb {
             // Eq. 10 (with the exact post-merge coreset frequency).
             p1 += xlog2x(fe) - xlog2x(fe - 2.0 * xy + grown);
             // Eq. 12–15 unified: vanished rows contribute xlog2x(0) = 0.
-            p2 += xlog2x(xe) + xlog2x(ye)
-                - (xlog2x(xe - xy) + xlog2x(ye - xy) + xlog2x(xy));
+            p2 += xlog2x(xe) + xlog2x(ye) - (xlog2x(xe - xy) + xlog2x(ye - xy) + xlog2x(xy));
             if self.gain_policy == GainPolicy::Total {
                 let code_e = self.coresets[e as usize].code_len;
                 if existing.is_none() {
@@ -390,12 +423,16 @@ impl InvertedDb {
     }
 
     /// Iterates the rows of `x` restricted to coresets shared with `y`.
-    fn shared_rows(&self, x: LeafsetId, y: LeafsetId) -> impl Iterator<Item = (&CoresetId, &Vec<VertexId>)> {
+    fn shared_rows(
+        &self,
+        x: LeafsetId,
+        y: LeafsetId,
+    ) -> impl Iterator<Item = (&CoresetId, &[VertexId])> {
         let ys = &self.leafset_coresets[y as usize];
         self.leafset_coresets[x as usize]
             .iter()
             .filter(move |e| ys.contains(e))
-            .map(move |e| (e, &self.rows[*e as usize][&x]))
+            .map(move |e| (e, self.store.get(self.rows[*e as usize][&x])))
     }
 
     /// Merges leafsets `x` and `y` (§IV-E): at every shared coreset the
@@ -415,12 +452,16 @@ impl InvertedDb {
             .copied()
             .filter(|e| self.leafset_coresets[y as usize].contains(e))
             .collect();
+        // Reusable intersection buffer: steady-state merging allocates
+        // nothing — parents shrink in place, unions grow in place while
+        // their spans have slack, dead spans are recycled.
+        let mut common = std::mem::take(&mut self.scratch_common);
         for e in shared {
-            let common = {
-                let px = &self.rows[e as usize][&x];
-                let py = &self.rows[e as usize][&y];
-                intersect(px, py)
-            };
+            {
+                let rx = self.rows[e as usize][&x];
+                let ry = self.rows[e as usize][&y];
+                self.store.intersect_into(rx, ry, &mut common);
+            }
             if common.is_empty() {
                 continue;
             }
@@ -434,14 +475,14 @@ impl InvertedDb {
                 if parent == n {
                     continue;
                 }
-                let row = self.rows[e as usize].get_mut(&parent).expect("shared row");
-                let old = row.len() as u64;
+                let row = *self.rows[e as usize].get(&parent).expect("shared row");
+                let old = self.store.len(row) as u64;
                 self.term2 -= xlog2x(old as f64);
-                difference_inplace(row, &common);
-                let new = row.len() as u64;
+                let new = self.store.difference(row, &common) as u64;
                 fe = fe - old + new;
                 if new == 0 {
                     self.rows[e as usize].remove(&parent);
+                    self.store.release(row);
                     self.material_cost -=
                         self.leafset_st_cost(parent) + self.coresets[e as usize].code_len;
                     self.unlink(parent, e);
@@ -450,13 +491,11 @@ impl InvertedDb {
                 }
             }
             // Grow (or create) the union row.
-            match self.rows[e as usize].get_mut(&n) {
+            match self.rows[e as usize].get(&n).copied() {
                 Some(row) => {
-                    let old = row.len() as u64;
+                    let old = self.store.len(row) as u64;
                     self.term2 -= xlog2x(old as f64);
-                    let merged = union(row, &common);
-                    let new = merged.len() as u64;
-                    *row = merged;
+                    let new = self.store.union_in_place(row, &common) as u64;
                     fe = fe - old + new;
                     self.term2 += xlog2x(new as f64);
                 }
@@ -465,7 +504,8 @@ impl InvertedDb {
                     self.term2 += xlog2x(fl as f64);
                     self.material_cost +=
                         self.leafset_st_cost(n) + self.coresets[e as usize].code_len;
-                    self.rows[e as usize].insert(n, common);
+                    let row = self.store.insert(&common);
+                    self.rows[e as usize].insert(n, row);
                     fe += fl;
                     let cs = &mut self.leafset_coresets[n as usize];
                     if cs.is_empty() {
@@ -477,6 +517,7 @@ impl InvertedDb {
             self.term1 += xlog2x(fe as f64);
             self.coreset_freq[e as usize] = fe;
         }
+        self.scratch_common = common;
         MergeOutcome {
             new_leafset: n,
             x_removed: !self.is_live(x),
@@ -565,7 +606,10 @@ mod tests {
 
     fn build_paper_db() -> (InvertedDb, cspm_graph::fixtures::PaperAttrs) {
         let (g, a) = paper_example();
-        (InvertedDb::build(&g, CoresetMode::SingleValue, GainPolicy::DataOnly), a)
+        (
+            InvertedDb::build(&g, CoresetMode::SingleValue, GainPolicy::DataOnly),
+            a,
+        )
     }
 
     /// Finds the leafset id of a singleton leaf value.
@@ -644,8 +688,10 @@ mod tests {
         assert!(db.is_live(n));
         // The data-only gain equals the exact L(I|M) reduction (Eq. 9).
         let data_delta = db.data_cost() - data_before;
-        assert!((gain + data_delta).abs() < 1e-9,
-            "gain {gain} vs data delta {data_delta}");
+        assert!(
+            (gain + data_delta).abs() < 1e-9,
+            "gain {gain} vs data delta {data_delta}"
+        );
     }
 
     #[test]

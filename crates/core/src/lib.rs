@@ -6,6 +6,17 @@
 //! so as to minimise the description length under a conditional-entropy
 //! code (§IV), with the partial-update optimization of §V.
 //!
+//! # Architecture
+//!
+//! Everything dispatches through one [`engine`]:
+//!
+//! | Layer | Module | Role |
+//! |---|---|---|
+//! | storage | [`positions`] | sorted-slice set algebra + the flat [`PostingStore`] arena backing every row |
+//! | database | [`InvertedDb`] | §IV-B rows over the arena, exact DL bookkeeping, the §IV-E merge |
+//! | engine | [`engine`] | the greedy merge loop + [`CandidateScheduler`]; Algorithm 1 and Algorithm 3 are its two [`SchedulePolicy`] values |
+//! | façade | [`cspm_basic`] / [`cspm_partial`] / [`mine`] / [`mine_dynamic`] | thin entry points selecting a policy |
+//!
 //! # Quick example
 //!
 //! ```
@@ -24,24 +35,28 @@ mod basic;
 mod config;
 mod decode;
 mod dynamic;
+pub mod engine;
 mod inverted;
 mod model;
 mod partial;
-mod positions;
+pub mod positions;
 mod stats;
 
-pub use basic::{cspm_basic, CspmResult};
+pub use basic::cspm_basic;
 pub use config::{CoresetMode, CspmConfig, GainPolicy, IterationStat, RunStats};
 pub use decode::{decode_neighborhood, true_neighborhood, verify_lossless, LossError};
 pub use dynamic::{mine_dynamic, DynamicResult, TemporalOccurrences};
+pub use engine::{CandidateScheduler, CspmResult, SchedulePolicy};
 pub use inverted::{Coreset, CoresetId, InvertedDb, LeafsetId, MergeOutcome};
 pub use model::{MinedAStar, MinedModel};
 pub use partial::cspm_partial;
+pub use positions::{PostingStore, RowId};
 pub use stats::ModelSummary;
 
 use cspm_graph::AttributedGraph;
 
-/// Which CSPM variant to run.
+/// Which CSPM variant to run. Both variants are scheduling policies of
+/// the same [`engine`]; see [`SchedulePolicy`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Variant {
     /// CSPM-Basic (Algorithm 1): full candidate regeneration each
@@ -54,12 +69,20 @@ pub enum Variant {
     Partial,
 }
 
-/// High-level entry point: runs the selected variant.
-pub fn mine(g: &AttributedGraph, variant: Variant, config: CspmConfig) -> CspmResult {
-    match variant {
-        Variant::Basic => cspm_basic(g, config),
-        Variant::Partial => cspm_partial(g, config),
+impl Variant {
+    /// The engine scheduling policy this variant compiles down to.
+    pub fn policy(self) -> SchedulePolicy {
+        match self {
+            Variant::Basic => SchedulePolicy::FullRegeneration,
+            Variant::Partial => SchedulePolicy::Incremental,
+        }
     }
+}
+
+/// High-level entry point: runs the selected variant through the
+/// unified [`engine`].
+pub fn mine(g: &AttributedGraph, variant: Variant, config: CspmConfig) -> CspmResult {
+    engine::mine_with_policy(g, variant.policy(), config)
 }
 
 #[cfg(test)]

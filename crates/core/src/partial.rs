@@ -1,219 +1,22 @@
 //! CSPM-Partial: Algorithm 3 + Algorithm 4 of the paper (§V).
 //!
-//! Instead of regenerating every candidate gain after each merge, the
-//! optimized variant maintains `rdict` — for each leafset, the related
-//! leafsets with which it currently forms a positive-gain pair — and
-//! after a merge only (1) removes pairs of totally-merged leafsets,
-//! (2) evaluates the new leafset against `rdict[x] ∩ rdict[y]`, and
-//! (3) re-evaluates pairs involving partly-merged leafsets.
-//!
-//! Gains of untouched pairs can go stale when a shared coreset's total
-//! frequency changes; popped pairs are therefore *revalidated* (their
-//! gain recomputed once) before being applied, which preserves the
-//! monotone-DL invariant at negligible cost.
-
-use std::collections::{BTreeSet, HashMap};
-use std::time::Instant;
+//! A thin façade over the unified [`engine`](crate::engine): Partial is
+//! the engine's [`SchedulePolicy::Incremental`] policy — instead of
+//! regenerating every candidate gain after each merge, the scheduler's
+//! `rdict` index is used to (1) drop pairs of totally-merged leafsets,
+//! (2) evaluate the new leafset against `rdict[x] ∩ rdict[y]`, and
+//! (3) re-score pairs involving partly-merged leafsets. Popped pairs are
+//! lazily revalidated before being applied, preserving the monotone-DL
+//! invariant at negligible cost.
 
 use cspm_graph::AttributedGraph;
 
-use crate::basic::CspmResult;
-use crate::config::{CspmConfig, IterationStat, RunStats};
-use crate::inverted::{InvertedDb, LeafsetId};
-use crate::model::MinedModel;
-
-/// Totally-ordered `f64` for use in ordered collections (gains are
-/// always finite).
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct OrdF64(f64);
-
-impl Eq for OrdF64 {}
-impl PartialOrd for OrdF64 {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for OrdF64 {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.total_cmp(&other.0)
-    }
-}
-
-/// Candidate pair store with max-gain popping and per-leafset indexing.
-#[derive(Debug, Default)]
-struct Candidates {
-    gains: HashMap<(LeafsetId, LeafsetId), f64>,
-    order: BTreeSet<(OrdF64, LeafsetId, LeafsetId)>,
-    /// `rdict`: leafset → related leafsets (partners in positive pairs).
-    rdict: HashMap<LeafsetId, BTreeSet<LeafsetId>>,
-}
-
-impl Candidates {
-    fn key(x: LeafsetId, y: LeafsetId) -> (LeafsetId, LeafsetId) {
-        (x.min(y), x.max(y))
-    }
-
-    fn upsert(&mut self, x: LeafsetId, y: LeafsetId, gain: f64) {
-        let key = Self::key(x, y);
-        if let Some(old) = self.gains.insert(key, gain) {
-            self.order.remove(&(OrdF64(old), key.0, key.1));
-        }
-        self.order.insert((OrdF64(gain), key.0, key.1));
-        self.rdict.entry(x).or_default().insert(y);
-        self.rdict.entry(y).or_default().insert(x);
-    }
-
-    fn remove_pair(&mut self, x: LeafsetId, y: LeafsetId) {
-        let key = Self::key(x, y);
-        if let Some(old) = self.gains.remove(&key) {
-            self.order.remove(&(OrdF64(old), key.0, key.1));
-        }
-        if let Some(s) = self.rdict.get_mut(&x) {
-            s.remove(&y);
-            if s.is_empty() {
-                self.rdict.remove(&x);
-            }
-        }
-        if let Some(s) = self.rdict.get_mut(&y) {
-            s.remove(&x);
-            if s.is_empty() {
-                self.rdict.remove(&y);
-            }
-        }
-    }
-
-    /// Removes every pair involving `l` (Algorithm 4, step 1).
-    fn remove_leafset(&mut self, l: LeafsetId) {
-        if let Some(partners) = self.rdict.remove(&l) {
-            for p in partners {
-                let key = Self::key(l, p);
-                if let Some(old) = self.gains.remove(&key) {
-                    self.order.remove(&(OrdF64(old), key.0, key.1));
-                }
-                if let Some(s) = self.rdict.get_mut(&p) {
-                    s.remove(&l);
-                    if s.is_empty() {
-                        self.rdict.remove(&p);
-                    }
-                }
-            }
-        }
-    }
-
-    /// Pops the pair with the maximum stored gain.
-    fn pop_max(&mut self) -> Option<(LeafsetId, LeafsetId, f64)> {
-        let &(OrdF64(gain), x, y) = self.order.last()?;
-        self.remove_pair(x, y);
-        Some((x, y, gain))
-    }
-
-    fn related(&self, l: LeafsetId) -> BTreeSet<LeafsetId> {
-        self.rdict.get(&l).cloned().unwrap_or_default()
-    }
-
-    fn is_empty(&self) -> bool {
-        self.order.is_empty()
-    }
-}
+use crate::config::CspmConfig;
+use crate::engine::{mine_with_policy, CspmResult, SchedulePolicy};
 
 /// Runs CSPM-Partial on an attributed graph.
 pub fn cspm_partial(g: &AttributedGraph, config: CspmConfig) -> CspmResult {
-    let started = Instant::now();
-    let mut db = InvertedDb::build(g, config.coreset_mode, config.gain_policy);
-    let initial_dl = db.total_dl();
-    let mut stats = RunStats::default();
-    let mut merges = 0usize;
-
-    // Algorithm 3, lines 5–6: initial candidates and rdict.
-    let mut cands = Candidates::default();
-    let init_pairs = db.sharing_pairs();
-    stats.total_gain_evals += init_pairs.len() as u64;
-    for (x, y) in init_pairs {
-        let gain = db.pair_gain(x, y);
-        if gain > 1e-9 {
-            cands.upsert(x, y, gain);
-        }
-    }
-
-    while !cands.is_empty() {
-        if config.max_merges.is_some_and(|m| merges >= m) {
-            break;
-        }
-        let Some((x, y, _stored)) = cands.pop_max() else { break };
-        // Revalidate the popped gain (see module docs).
-        let mut gain_evals = 1u64;
-        let gain = db.pair_gain(x, y);
-        if gain <= 1e-9 {
-            continue;
-        }
-        // Capture relations before any removal (the new pattern inherits
-        // candidate partners from both parents).
-        let rel_x = cands.related(x);
-        let rel_y = cands.related(y);
-        let outcome = db.merge(x, y);
-        debug_assert!(outcome.merged_any);
-        merges += 1;
-        let n = outcome.new_leafset;
-
-        // (1) Remove totally merged leafsets from candidates and rdict.
-        if outcome.x_removed {
-            cands.remove_leafset(x);
-        }
-        if outcome.y_removed {
-            cands.remove_leafset(y);
-        }
-
-        // (2) Add pairs with the new leafset: rel ∈ rdict[x] ∩ rdict[y].
-        for &rel in rel_x.intersection(&rel_y) {
-            if rel == n || !db.is_live(rel) || !db.is_live(n) {
-                continue;
-            }
-            gain_evals += 1;
-            let gain = db.pair_gain(rel, n);
-            if gain > 1e-9 {
-                cands.upsert(rel, n, gain);
-            }
-        }
-
-        // (3) Update influenced pairs: partners of partly merged parents
-        // (frequencies only ever shrink, so gains may flip negative).
-        for (parent, removed) in [(x, outcome.x_removed), (y, outcome.y_removed)] {
-            if removed {
-                continue;
-            }
-            for rel in cands.related(parent) {
-                gain_evals += 1;
-                let gain = db.pair_gain(parent, rel);
-                if gain > 1e-9 {
-                    cands.upsert(parent, rel, gain);
-                } else {
-                    cands.remove_pair(parent, rel);
-                }
-            }
-        }
-
-        stats.total_gain_evals += gain_evals;
-        if config.collect_stats {
-            let live = db.live_leafset_count() as u64;
-            stats.iterations.push(IterationStat {
-                gain_evals,
-                possible_pairs: live * live.saturating_sub(1) / 2,
-                accepted_gain: gain,
-                dl_after: db.total_dl(),
-                data_dl_after: db.data_cost(),
-            });
-        }
-    }
-
-    stats.elapsed_secs = started.elapsed().as_secs_f64();
-    CspmResult {
-        model: MinedModel::from_db(&db),
-        initial_dl,
-        final_dl: db.total_dl(),
-        merges,
-        stats,
-        db,
-    }
+    mine_with_policy(g, SchedulePolicy::Incremental, config)
 }
 
 #[cfg(test)]
@@ -227,11 +30,18 @@ mod tests {
     #[test]
     fn partial_matches_basic_on_paper_example() {
         let (g, _) = paper_example();
-        let cfg = CspmConfig { gain_policy: GainPolicy::DataOnly, ..Default::default() };
+        let cfg = CspmConfig {
+            gain_policy: GainPolicy::DataOnly,
+            ..Default::default()
+        };
         let b = cspm_basic(&g, cfg);
         let p = cspm_partial(&g, cfg);
-        assert!((b.final_dl - p.final_dl).abs() < 1e-6,
-            "basic {} vs partial {}", b.final_dl, p.final_dl);
+        assert!(
+            (b.final_dl - p.final_dl).abs() < 1e-6,
+            "basic {} vs partial {}",
+            b.final_dl,
+            p.final_dl
+        );
         assert_eq!(b.merges, p.merges);
     }
 
@@ -266,7 +76,11 @@ mod tests {
         let g = b.build().unwrap();
         let basic = cspm_basic(&g, CspmConfig::instrumented());
         let partial = cspm_partial(&g, CspmConfig::instrumented());
-        assert!(basic.merges >= 2, "expected several merges, got {}", basic.merges);
+        assert!(
+            basic.merges >= 2,
+            "expected several merges, got {}",
+            basic.merges
+        );
         assert!(
             partial.stats.total_gain_evals < basic.stats.total_gain_evals,
             "partial {} evals vs basic {}",
@@ -275,19 +89,6 @@ mod tests {
         );
         // Both reach equally good models on this clean instance.
         assert!((basic.final_dl - partial.final_dl).abs() / basic.final_dl < 0.05);
-    }
-
-    #[test]
-    fn candidates_store_invariants() {
-        let mut c = Candidates::default();
-        c.upsert(1, 2, 3.0);
-        c.upsert(2, 3, 5.0);
-        c.upsert(1, 3, 4.0);
-        assert_eq!(c.pop_max(), Some((2, 3, 5.0)));
-        c.upsert(1, 2, 10.0); // update overwrites
-        assert_eq!(c.pop_max(), Some((1, 2, 10.0)));
-        c.remove_leafset(3);
-        assert!(c.is_empty());
     }
 
     #[test]

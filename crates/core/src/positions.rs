@@ -1,8 +1,19 @@
-//! Sorted position-set operations.
+//! Sorted position-set operations and the flat posting-list store.
 //!
 //! Inverted-database rows store their occurrence positions as sorted
-//! `Vec<VertexId>`; gains need intersection *counts*, merges need exact
+//! vertex lists; gains need intersection *counts*, merges need exact
 //! intersections, differences, and unions.
+//!
+//! Two layers live here:
+//!
+//! * free functions over sorted slices (`intersect`, `union`, …) — the
+//!   reference set algebra, also used directly by the gain formulas;
+//! * [`PostingStore`] — an arena that packs every row's positions into
+//!   one contiguous `Vec<VertexId>` and hands out `(offset, len)` spans
+//!   ([`RowId`]), with in-place difference/union over spans and a
+//!   free-list for recycled rows. This is the merge loop's backing
+//!   store: rows shrink or die in place and only union rows ever move,
+//!   so steady-state mining allocates nothing per merge.
 
 use cspm_graph::VertexId;
 
@@ -81,6 +92,290 @@ pub fn union(a: &[VertexId], b: &[VertexId]) -> Vec<VertexId> {
     out
 }
 
+/// Handle to one posting list (row) inside a [`PostingStore`].
+///
+/// Row ids are stable for the lifetime of the row: spans may move inside
+/// the arena (union growth), but the id does not change until the row is
+/// [released](PostingStore::release).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RowId(u32);
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    offset: usize,
+    len: usize,
+    cap: usize,
+}
+
+/// Arena-backed flat storage for sorted posting lists.
+///
+/// All rows share one contiguous `data` vector; each row is a
+/// `(offset, len)` span with some slack capacity. The merge loop's three
+/// mutations map onto the arena as:
+///
+/// * **difference** (`§IV-E`, shrinking a parent row) — in place, the
+///   span keeps its offset and loses length;
+/// * **union** (growing the `x ∪ y` row) — in place while the result
+///   fits the span's capacity, otherwise the row moves to a larger span
+///   and the old one joins the free-list;
+/// * **release** (a parent row emptying) — the span joins the free-list
+///   for reuse by later unions.
+#[derive(Debug, Clone)]
+pub struct PostingStore {
+    data: Vec<VertexId>,
+    slots: Vec<Slot>,
+    /// Recycled slot ids (their spans already returned to `free_spans`).
+    free_slots: Vec<u32>,
+    /// Recycled `(offset, cap)` spans, segregated by power-of-two size
+    /// class (`free_spans[k]` holds caps in `[2^k, 2^(k+1))`), so
+    /// allocation never scans more than a bounded prefix of one class.
+    free_spans: Vec<Vec<(usize, usize)>>,
+    /// Σ len over live rows (for fragmentation diagnostics).
+    live: usize,
+    /// Scratch for relocating unions; kept to avoid re-allocation.
+    scratch: Vec<VertexId>,
+}
+
+impl Default for PostingStore {
+    fn default() -> Self {
+        Self {
+            data: Vec::new(),
+            slots: Vec::new(),
+            free_slots: Vec::new(),
+            free_spans: vec![Vec::new(); usize::BITS as usize],
+            live: 0,
+            scratch: Vec::new(),
+        }
+    }
+}
+
+/// Size class of a span capacity: `floor(log2(cap))`.
+fn size_class(cap: usize) -> usize {
+    debug_assert!(cap > 0);
+    (usize::BITS - 1 - cap.leading_zeros()) as usize
+}
+
+impl PostingStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A store pre-sized for `total_positions` arena entries.
+    pub fn with_capacity(total_positions: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(total_positions),
+            ..Self::default()
+        }
+    }
+
+    /// Copies a sorted position list into the arena; the span is exact
+    /// (no slack — build-time rows only ever shrink).
+    pub fn insert(&mut self, positions: &[VertexId]) -> RowId {
+        debug_assert!(
+            positions.windows(2).all(|w| w[0] < w[1]),
+            "positions must be sorted"
+        );
+        let offset = self.alloc_span(positions.len());
+        self.data[offset..offset + positions.len()].copy_from_slice(positions);
+        self.live += positions.len();
+        let slot = Slot {
+            offset,
+            len: positions.len(),
+            cap: positions.len(),
+        };
+        match self.free_slots.pop() {
+            Some(id) => {
+                self.slots[id as usize] = slot;
+                RowId(id)
+            }
+            None => {
+                self.slots.push(slot);
+                RowId(self.slots.len() as u32 - 1)
+            }
+        }
+    }
+
+    /// The row's positions.
+    pub fn get(&self, row: RowId) -> &[VertexId] {
+        let s = self.slots[row.0 as usize];
+        &self.data[s.offset..s.offset + s.len]
+    }
+
+    /// The row's length.
+    pub fn len(&self, row: RowId) -> usize {
+        self.slots[row.0 as usize].len
+    }
+
+    /// Returns the row's span to the free-list.
+    pub fn release(&mut self, row: RowId) {
+        let s = self.slots[row.0 as usize];
+        self.live -= s.len;
+        self.free_span(s.offset, s.cap);
+        self.slots[row.0 as usize] = Slot {
+            offset: 0,
+            len: 0,
+            cap: 0,
+        };
+        self.free_slots.push(row.0);
+    }
+
+    /// `|row(a) ∩ row(b)|`.
+    pub fn intersect_count(&self, a: RowId, b: RowId) -> usize {
+        intersect_count(self.get(a), self.get(b))
+    }
+
+    /// Writes `row(a) ∩ row(b)` into `out` (cleared first).
+    pub fn intersect_into(&self, a: RowId, b: RowId, out: &mut Vec<VertexId>) {
+        out.clear();
+        let (pa, pb) = (self.get(a), self.get(b));
+        let (mut i, mut j) = (0, 0);
+        while i < pa.len() && j < pb.len() {
+            match pa[i].cmp(&pb[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(pa[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+
+    /// Removes every element of sorted `other` from the row, in place
+    /// (the span keeps its capacity). Returns the new length.
+    pub fn difference(&mut self, row: RowId, other: &[VertexId]) -> usize {
+        let s = self.slots[row.0 as usize];
+        let span = &mut self.data[s.offset..s.offset + s.len];
+        let mut write = 0;
+        let mut j = 0;
+        for read in 0..span.len() {
+            let x = span[read];
+            while j < other.len() && other[j] < x {
+                j += 1;
+            }
+            if j < other.len() && other[j] == x {
+                continue;
+            }
+            span[write] = x;
+            write += 1;
+        }
+        self.slots[row.0 as usize].len = write;
+        self.live -= s.len - write;
+        write
+    }
+
+    /// Merges sorted `other` into the row (set union), in place when the
+    /// result fits the span's capacity, relocating the row otherwise.
+    /// Returns the new length.
+    ///
+    /// One comparison pass (merge into the reusable scratch buffer) plus
+    /// one `memcpy` back into the arena — the same comparison work as an
+    /// allocating union, without the allocation.
+    pub fn union_in_place(&mut self, row: RowId, other: &[VertexId]) -> usize {
+        let s = self.slots[row.0 as usize];
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        scratch.reserve(s.len + other.len());
+        {
+            let current = &self.data[s.offset..s.offset + s.len];
+            let (mut i, mut j) = (0, 0);
+            while i < current.len() && j < other.len() {
+                match current[i].cmp(&other[j]) {
+                    std::cmp::Ordering::Less => {
+                        scratch.push(current[i]);
+                        i += 1;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        scratch.push(other[j]);
+                        j += 1;
+                    }
+                    std::cmp::Ordering::Equal => {
+                        scratch.push(current[i]);
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            scratch.extend_from_slice(&current[i..]);
+            scratch.extend_from_slice(&other[j..]);
+        }
+        let merged_len = scratch.len();
+        if merged_len <= s.cap {
+            self.data[s.offset..s.offset + merged_len].copy_from_slice(&scratch);
+            self.slots[row.0 as usize].len = merged_len;
+        } else {
+            // Relocate with slack: union rows tend to keep growing.
+            self.free_span(s.offset, s.cap);
+            let cap = merged_len + merged_len / 2;
+            let offset = self.alloc_span(cap);
+            self.data[offset..offset + merged_len].copy_from_slice(&scratch);
+            self.slots[row.0 as usize] = Slot {
+                offset,
+                len: merged_len,
+                cap,
+            };
+        }
+        self.scratch = scratch;
+        self.live += merged_len - s.len;
+        merged_len
+    }
+
+    /// Total arena length (live + slack + free), in positions.
+    pub fn arena_len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Σ len over live rows.
+    pub fn live_len(&self) -> usize {
+        self.live
+    }
+
+    fn free_span(&mut self, offset: usize, cap: usize) {
+        if cap > 0 {
+            self.free_spans[size_class(cap)].push((offset, cap));
+        }
+    }
+
+    /// Bounded same-class scan before falling through to a strictly
+    /// larger class (whose every span is guaranteed to fit).
+    const SAME_CLASS_PROBES: usize = 8;
+
+    /// Finds or creates a span of at least `need` capacity, splitting
+    /// the chosen span when the remainder is still useful. Amortised
+    /// O(1): at most [`Self::SAME_CLASS_PROBES`] candidates of `need`'s
+    /// own size class are inspected, then the first non-empty larger
+    /// class is popped.
+    fn alloc_span(&mut self, need: usize) -> usize {
+        if need == 0 {
+            return 0;
+        }
+        let k = size_class(need);
+        let same = &mut self.free_spans[k];
+        for i in (same.len().saturating_sub(Self::SAME_CLASS_PROBES)..same.len()).rev() {
+            if same[i].1 >= need {
+                let (offset, cap) = same.swap_remove(i);
+                return self.split_span(offset, cap, need);
+            }
+        }
+        for kk in k + 1..self.free_spans.len() {
+            if let Some((offset, cap)) = self.free_spans[kk].pop() {
+                return self.split_span(offset, cap, need);
+            }
+        }
+        let offset = self.data.len();
+        self.data.resize(offset + need, 0);
+        offset
+    }
+
+    fn split_span(&mut self, offset: usize, cap: usize, need: usize) -> usize {
+        debug_assert!(cap >= need);
+        self.free_span(offset + need, cap - need);
+        offset
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,5 +412,75 @@ mod tests {
         let u = union(&a, &b);
         // |A| + |B| = |A ∪ B| + |A ∩ B|
         assert_eq!(a.len() + b.len(), u.len() + i.len());
+    }
+
+    #[test]
+    fn store_roundtrips_rows() {
+        let mut st = PostingStore::new();
+        let a = st.insert(&[1, 3, 5, 7]);
+        let b = st.insert(&[2, 3, 5, 8]);
+        assert_eq!(st.get(a), &[1, 3, 5, 7]);
+        assert_eq!(st.get(b), &[2, 3, 5, 8]);
+        assert_eq!(st.len(a), 4);
+        assert_eq!(st.live_len(), 8);
+        assert_eq!(st.intersect_count(a, b), 2);
+        let mut out = Vec::new();
+        st.intersect_into(a, b, &mut out);
+        assert_eq!(out, vec![3, 5]);
+    }
+
+    #[test]
+    fn store_difference_matches_reference() {
+        let mut st = PostingStore::new();
+        let r = st.insert(&[1, 2, 3, 4, 5, 9]);
+        let removed = [2, 4, 6, 9];
+        let mut reference = vec![1, 2, 3, 4, 5, 9];
+        difference_inplace(&mut reference, &removed);
+        let new_len = st.difference(r, &removed);
+        assert_eq!(st.get(r), reference.as_slice());
+        assert_eq!(new_len, reference.len());
+        assert_eq!(st.live_len(), reference.len());
+    }
+
+    #[test]
+    fn store_union_in_place_within_capacity() {
+        let mut st = PostingStore::new();
+        let r = st.insert(&[1, 4, 9, 12, 15, 20]);
+        // Shrink first so the span has slack, then union back in.
+        st.difference(r, &[4, 12, 20]);
+        assert_eq!(st.get(r), &[1, 9, 15]);
+        let arena_before = st.arena_len();
+        let n = st.union_in_place(r, &[2, 9, 16]);
+        assert_eq!(st.get(r), &[1, 2, 9, 15, 16]);
+        assert_eq!(n, 5);
+        // Fit inside the slack: the arena did not grow.
+        assert_eq!(st.arena_len(), arena_before);
+    }
+
+    #[test]
+    fn store_union_relocates_when_full() {
+        let mut st = PostingStore::new();
+        let r = st.insert(&[5, 10]);
+        let n = st.union_in_place(r, &[1, 2, 3, 10, 11]);
+        assert_eq!(n, 6);
+        assert_eq!(st.get(r), &[1, 2, 3, 5, 10, 11]);
+        assert_eq!(st.live_len(), 6);
+    }
+
+    #[test]
+    fn store_reuses_released_spans() {
+        let mut st = PostingStore::new();
+        let a = st.insert(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        let len_after_a = st.arena_len();
+        st.release(a);
+        assert_eq!(st.live_len(), 0);
+        let b = st.insert(&[10, 20, 30]);
+        // The new row fits inside the recycled span: no arena growth.
+        assert_eq!(st.arena_len(), len_after_a);
+        assert_eq!(st.get(b), &[10, 20, 30]);
+        // And the split remainder is still usable.
+        let c = st.insert(&[7, 8, 9]);
+        assert_eq!(st.arena_len(), len_after_a);
+        assert_eq!(st.get(c), &[7, 8, 9]);
     }
 }

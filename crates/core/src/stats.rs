@@ -98,7 +98,13 @@ mod tests {
     #[test]
     fn mean_size_of_unmerged_model_is_one() {
         let (g, _) = paper_example();
-        let res = cspm_partial(&g, CspmConfig { max_merges: Some(0), ..Default::default() });
+        let res = cspm_partial(
+            &g,
+            CspmConfig {
+                max_merges: Some(0),
+                ..Default::default()
+            },
+        );
         let s = ModelSummary::new(&res.db, &res.model);
         assert!((s.mean_leafset_size - 1.0).abs() < 1e-12);
         assert_eq!(s.merged_rows, 0);

@@ -16,7 +16,9 @@ use crate::{Dataset, Scale};
 /// Venue pools per research area, mirroring the paper's §VI-B examples
 /// (PODS/ICDM/EDBT cluster together, etc.). Further venues are synthetic.
 const SEED_VENUES: &[&[&str]] = &[
-    &["ICDM", "EDBT", "PODS", "KDD", "PAKDD", "DMKD", "SAC", "ICDE"],
+    &[
+        "ICDM", "EDBT", "PODS", "KDD", "PAKDD", "DMKD", "SAC", "ICDE",
+    ],
     &["NIPS", "ICML", "AAAI", "IJCAI", "COLT"],
     &["SIGCOMM", "INFOCOM", "NSDI", "IMC"],
     &["SOSP", "OSDI", "ATC", "EuroSys"],
@@ -104,7 +106,11 @@ fn build_citation(
 /// DBLP-like co-authorship network: attribute values are venues.
 pub fn dblp_like(scale: Scale, seed: u64) -> Dataset {
     let graph = build_citation(scale, seed, |_, venue| vec![venue.to_owned()]);
-    Dataset { name: "DBLP(synthetic)", category: "Citation", graph }
+    Dataset {
+        name: "DBLP(synthetic)",
+        category: "Citation",
+        graph,
+    }
 }
 
 /// DBLP-Trend-like network: attribute values are venue+trend indicators
@@ -115,10 +121,20 @@ pub fn dblp_trend_like(scale: Scale, seed: u64) -> Dataset {
         // Bias towards '=' with fewer +/-: publication counts are stable
         // for most researchers year over year.
         let r = rng.gen::<f64>();
-        let trend = if r < 0.5 { "=" } else if r < 0.8 { "+" } else { "-" };
+        let trend = if r < 0.5 {
+            "="
+        } else if r < 0.8 {
+            "+"
+        } else {
+            "-"
+        };
         vec![format!("{venue}{trend}")]
     });
-    Dataset { name: "DBLP-Trend(synthetic)", category: "Citation", graph }
+    Dataset {
+        name: "DBLP-Trend(synthetic)",
+        category: "Citation",
+        graph,
+    }
 }
 
 #[cfg(test)]
@@ -154,9 +170,7 @@ mod tests {
         // share attribute values far more often than random pairs.
         let d = dblp_like(Scale::Small, 3);
         let g = &d.graph;
-        let share = |u: u32, v: u32| {
-            g.labels(u).iter().any(|a| g.labels(v).contains(a))
-        };
+        let share = |u: u32, v: u32| g.labels(u).iter().any(|a| g.labels(v).contains(a));
         let mut adjacent_share = 0usize;
         let mut total = 0usize;
         for (u, v) in g.edges() {

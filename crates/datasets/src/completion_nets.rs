@@ -95,7 +95,12 @@ pub fn citation_completion(kind: CompletionKind, scale: Scale, seed: u64) -> Com
         CompletionKind::Citeseer => "Citeseer(synthetic)",
         CompletionKind::Dblp => "DBLP(synthetic)",
     };
-    CompletionDataset { name, graph, classes, ks }
+    CompletionDataset {
+        name,
+        graph,
+        classes,
+        ks,
+    }
 }
 
 #[cfg(test)]
@@ -143,6 +148,9 @@ mod tests {
         }
         let same_avg = same.0 as f64 / same.1 as f64;
         let diff_avg = diff.0 as f64 / diff.1 as f64;
-        assert!(same_avg > diff_avg * 1.5, "same {same_avg} vs diff {diff_avg}");
+        assert!(
+            same_avg > diff_avg * 1.5,
+            "same {same_avg} vs diff {diff_avg}"
+        );
     }
 }

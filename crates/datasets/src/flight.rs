@@ -53,10 +53,9 @@ pub fn usflight_like(scale: Scale, seed: u64) -> Dataset {
     let mut edges = 0usize;
     for h1 in 0..hubs {
         for h2 in h1 + 1..hubs {
-            if rng.gen::<f64>() < 0.5 && edges < m
-                && b.add_edge(h1 as u32, h2 as u32).is_ok() {
-                    edges += 1;
-                }
+            if rng.gen::<f64>() < 0.5 && edges < m && b.add_edge(h1 as u32, h2 as u32).is_ok() {
+                edges += 1;
+            }
         }
     }
     for v in hubs..n {
@@ -86,7 +85,10 @@ pub fn usflight_like(scale: Scale, seed: u64) -> Dataset {
     // pass is not possible through the builder; we track hub adjacency).
     let probe = b.clone().build_unchecked();
     for v in 0..n {
-        let near_shedding = probe.neighbors(v as u32).iter().any(|&u| shedding[u as usize]);
+        let near_shedding = probe
+            .neighbors(v as u32)
+            .iter()
+            .any(|&u| shedding[u as usize]);
         if shedding[v] {
             b.add_label(v as u32, "NbDepart-").unwrap();
             if rng.gen::<f64>() < 0.6 {
@@ -107,7 +109,11 @@ pub fn usflight_like(scale: Scale, seed: u64) -> Dataset {
     }
 
     let graph = ensure_connected(b, &mut rng);
-    Dataset { name: "USFlight(synthetic)", category: "Airport", graph }
+    Dataset {
+        name: "USFlight(synthetic)",
+        category: "Airport",
+        graph,
+    }
 }
 
 #[cfg(test)]

@@ -66,7 +66,8 @@ pub fn planted_astars(
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut b = GraphBuilder::new();
 
-    let noise_attr = |rng: &mut StdRng| format!("noise{}", rng.gen_range(0..cfg.background_attrs.max(1)));
+    let noise_attr =
+        |rng: &mut StdRng| format!("noise{}", rng.gen_range(0..cfg.background_attrs.max(1)));
 
     // Plant each occurrence as a hub with its leaf values spread over
     // 1–3 leaf vertices.
@@ -119,8 +120,13 @@ pub fn planted_astars(
             .iter()
             .map(|(core, leaves)| {
                 AStar::new(
-                    core.iter().map(|s| graph.attrs().get(s).expect("planted attr")).collect(),
-                    leaves.iter().map(|s| graph.attrs().get(s).expect("planted attr")).collect(),
+                    core.iter()
+                        .map(|s| graph.attrs().get(s).expect("planted attr"))
+                        .collect(),
+                    leaves
+                        .iter()
+                        .map(|s| graph.attrs().get(s).expect("planted attr"))
+                        .collect(),
                 )
             })
             .collect(),
@@ -136,7 +142,10 @@ mod tests {
     fn planted_patterns_occur_at_least_planted_times() {
         let (g, truth) = planted_astars(
             &[(&["x"], &["p", "q"]), (&["y"], &["r"])],
-            PlantedConfig { occurrences_per_pattern: 15, ..Default::default() },
+            PlantedConfig {
+                occurrences_per_pattern: 15,
+                ..Default::default()
+            },
         );
         assert!(g.is_connected());
         for astar in &truth.astars {

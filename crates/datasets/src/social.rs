@@ -44,7 +44,13 @@ pub fn pokec_like(scale: Scale, seed: u64) -> Dataset {
     let mut community = Vec::with_capacity(n);
     for _ in 0..n {
         let r = rng.gen::<f64>();
-        let c = if r < 0.55 { 0u8 } else if r < 0.85 { 1 } else { 2 };
+        let c = if r < 0.55 {
+            0u8
+        } else if r < 0.85 {
+            1
+        } else {
+            2
+        };
         community.push(c);
         let mut vals: Vec<AttrId> = Vec::new();
         match c {
@@ -105,9 +111,13 @@ pub fn pokec_like(scale: Scale, seed: u64) -> Dataset {
         }
     }
 
-    let graph = AttributedGraph::from_edge_list(labels, attrs, edges)
-        .expect("generated edges are valid");
-    Dataset { name: "Pokec(synthetic)", category: "Music", graph }
+    let graph =
+        AttributedGraph::from_edge_list(labels, attrs, edges).expect("generated edges are valid");
+    Dataset {
+        name: "Pokec(synthetic)",
+        category: "Music",
+        graph,
+    }
 }
 
 #[cfg(test)]

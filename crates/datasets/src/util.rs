@@ -118,7 +118,10 @@ mod tests {
         for _ in 0..5000 {
             counts[zipf(&mut rng, 10, 1.0)] += 1;
         }
-        assert!(counts[0] > counts[9] * 2, "rank 0 should dominate rank 9: {counts:?}");
+        assert!(
+            counts[0] > counts[9] * 2,
+            "rank 0 should dominate rank 9: {counts:?}"
+        );
     }
 
     #[test]

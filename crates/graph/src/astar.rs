@@ -49,9 +49,9 @@ impl AStar {
         if !contains_all(g.labels(x.core()), &self.coreset) {
             return false;
         }
-        self.leafset.iter().all(|&y| {
-            x.leaves().iter().any(|&u| g.has_label(u, y))
-        })
+        self.leafset
+            .iter()
+            .all(|&y| x.leaves().iter().any(|&u| g.has_label(u, y)))
     }
 
     /// Whether this a-star matches the adjacency-list star rooted at `v`.

@@ -26,7 +26,10 @@ impl GraphBuilder {
 
     /// Pre-sizes internal storage for `n` vertices.
     pub fn with_capacity(n: usize) -> Self {
-        Self { labels: Vec::with_capacity(n), ..Self::default() }
+        Self {
+            labels: Vec::with_capacity(n),
+            ..Self::default()
+        }
     }
 
     /// Adds a vertex carrying the given attribute values; returns its id.
@@ -47,7 +50,8 @@ impl GraphBuilder {
     /// Adds `n` vertices without attributes; returns the id of the first.
     pub fn add_vertices(&mut self, n: usize) -> VertexId {
         let first = self.labels.len() as VertexId;
-        self.labels.extend(std::iter::repeat_with(BTreeSet::new).take(n));
+        self.labels
+            .extend(std::iter::repeat_with(BTreeSet::new).take(n));
         first
     }
 
@@ -155,8 +159,14 @@ mod tests {
     fn unknown_vertex_rejected() {
         let mut b = GraphBuilder::new();
         let v = b.add_vertex(["x"]);
-        assert!(matches!(b.add_edge(v, 5), Err(GraphError::UnknownVertex(5))));
-        assert!(matches!(b.add_label(9, "y"), Err(GraphError::UnknownVertex(9))));
+        assert!(matches!(
+            b.add_edge(v, 5),
+            Err(GraphError::UnknownVertex(5))
+        ));
+        assert!(matches!(
+            b.add_label(9, "y"),
+            Err(GraphError::UnknownVertex(9))
+        ));
     }
 
     #[test]

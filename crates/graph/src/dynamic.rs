@@ -90,7 +90,9 @@ impl SnapshotSequence {
 
 impl FromIterator<AttributedGraph> for SnapshotSequence {
     fn from_iter<T: IntoIterator<Item = AttributedGraph>>(iter: T) -> Self {
-        Self { snapshots: iter.into_iter().collect() }
+        Self {
+            snapshots: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -130,8 +132,9 @@ mod tests {
         let x = b2.add_vertex(["q"]);
         let y = b2.add_vertex(["p"]);
         b2.add_edge(x, y).unwrap();
-        let seq: SnapshotSequence =
-            [b1.build().unwrap(), b2.build().unwrap()].into_iter().collect();
+        let seq: SnapshotSequence = [b1.build().unwrap(), b2.build().unwrap()]
+            .into_iter()
+            .collect();
         let u = seq.union_graph();
         let p = u.attrs().get("p").unwrap();
         assert!(u.has_label(0, p));

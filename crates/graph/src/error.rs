@@ -30,7 +30,9 @@ impl fmt::Display for GraphError {
             GraphError::Disconnected { components } => {
                 write!(f, "graph is not connected ({components} components)")
             }
-            GraphError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
             GraphError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -57,7 +59,10 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert_eq!(GraphError::UnknownVertex(3).to_string(), "unknown vertex id 3");
+        assert_eq!(
+            GraphError::UnknownVertex(3).to_string(),
+            "unknown vertex id 3"
+        );
         assert_eq!(
             GraphError::SelfLoop(1).to_string(),
             "self-loop on vertex 1 is not allowed"
@@ -65,7 +70,10 @@ mod tests {
         assert!(GraphError::Disconnected { components: 2 }
             .to_string()
             .contains("2 components"));
-        let p = GraphError::Parse { line: 7, message: "bad token".into() };
+        let p = GraphError::Parse {
+            line: 7,
+            message: "bad token".into(),
+        };
         assert!(p.to_string().contains("line 7"));
     }
 }

@@ -59,7 +59,12 @@ impl AttributedGraph {
                 l
             })
             .collect();
-        Ok(Self { adjacency, labels, attrs, edge_count: edge_count / 2 })
+        Ok(Self {
+            adjacency,
+            labels,
+            attrs,
+            edge_count: edge_count / 2,
+        })
     }
 
     /// Number of vertices `|V|`.

@@ -85,7 +85,12 @@ pub fn read_graph<R: Read>(reader: R) -> Result<AttributedGraph, GraphError> {
 /// Writes a graph in the text format (inverse of [`read_graph`]).
 pub fn write_graph<W: Write>(g: &AttributedGraph, writer: W) -> Result<(), GraphError> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "# cspm attributed graph: {} vertices, {} edges", g.vertex_count(), g.edge_count())?;
+    writeln!(
+        w,
+        "# cspm attributed graph: {} vertices, {} edges",
+        g.vertex_count(),
+        g.edge_count()
+    )?;
     for v in g.vertices() {
         write!(w, "v {v}")?;
         for &a in g.labels(v) {
@@ -181,13 +186,12 @@ mod tests {
         assert_eq!(g2.edge_count(), g.edge_count());
         for v in g.vertices() {
             assert_eq!(g2.neighbors(v), g.neighbors(v));
-            let names =
-                |gr: &AttributedGraph| -> Vec<String> {
-                    gr.labels(v)
-                        .iter()
-                        .map(|&a| gr.attrs().name(a).unwrap().to_owned())
-                        .collect()
-                };
+            let names = |gr: &AttributedGraph| -> Vec<String> {
+                gr.labels(v)
+                    .iter()
+                    .map(|&a| gr.attrs().name(a).unwrap().to_owned())
+                    .collect()
+            };
             assert_eq!(names(&g2), names(&g));
         }
     }
@@ -241,7 +245,10 @@ mod tests {
         assert_eq!(g.edge_count(), 2);
         assert_eq!(g.labels(0).len(), 2);
         assert!(g.labels(1).is_empty());
-        assert_eq!(g.attrs().get("gamma").map(|a| g.has_label(2, a)), Some(true));
+        assert_eq!(
+            g.attrs().get("gamma").map(|a| g.has_label(2, a)),
+            Some(true)
+        );
     }
 
     #[test]

@@ -91,10 +91,7 @@ pub fn attribute_homophily(g: &AttributedGraph) -> f64 {
 /// `(attr id, count)`.
 pub fn attribute_histogram(g: &AttributedGraph) -> Vec<(u32, usize)> {
     let mapping = g.mapping_table();
-    let mut hist: Vec<(u32, usize)> = mapping
-        .iter()
-        .map(|(a, pos)| (a, pos.len()))
-        .collect();
+    let mut hist: Vec<(u32, usize)> = mapping.iter().map(|(a, pos)| (a, pos.len())).collect();
     hist.sort_by(|l, r| r.1.cmp(&l.1).then(l.0.cmp(&r.0)));
     hist
 }

@@ -61,7 +61,10 @@ impl ExtendedStar {
     /// # Panics
     /// Panics if there are no leaves.
     pub fn new(core_labels: Vec<AttrId>, leaf_labels: Vec<Vec<AttrId>>) -> Self {
-        assert!(!leaf_labels.is_empty(), "an extended star needs at least one leaf");
+        assert!(
+            !leaf_labels.is_empty(),
+            "an extended star needs at least one leaf"
+        );
         let mut core_labels = core_labels;
         core_labels.sort_unstable();
         core_labels.dedup();
@@ -73,7 +76,10 @@ impl ExtendedStar {
                 l
             })
             .collect();
-        Self { core_labels, leaf_labels }
+        Self {
+            core_labels,
+            leaf_labels,
+        }
     }
 
     /// Attribute values required on the core.

@@ -74,7 +74,10 @@ pub fn apriori(db: &TransactionDb, min_support: u32) -> Vec<FrequentItemset> {
         level = Vec::new();
         for (cand, support) in candidates.into_iter().zip(supports) {
             if support >= min_support {
-                out.push(FrequentItemset { items: cand.clone(), support });
+                out.push(FrequentItemset {
+                    items: cand.clone(),
+                    support,
+                });
                 level.push(cand);
             }
         }

@@ -76,7 +76,7 @@ mod tests {
         assert!(!has(&[0]));
         assert!(!has(&[1]));
         assert!(has(&[0, 1])); // support 4, no equal-support superset
-        // {2} has support 2, same as {0,1,2}: not closed.
+                               // {2} has support 2, same as {0,1,2}: not closed.
         assert!(!has(&[2]));
         assert!(has(&[0, 1, 2]));
         assert!(has(&[3]));
@@ -90,8 +90,7 @@ mod tests {
         let closed = closed_itemsets(&db(), 1);
         for f in &all {
             let witness = closed.iter().any(|c| {
-                c.support == f.support
-                    && f.items.iter().all(|i| c.items.binary_search(i).is_ok())
+                c.support == f.support && f.items.iter().all(|i| c.items.binary_search(i).is_ok())
             });
             assert!(witness, "no closed witness for {:?}", f.items);
         }

@@ -98,7 +98,11 @@ impl CodeTable {
             .map(|(i, &c)| Pattern::new(vec![i as Item], c as u32))
             .collect();
         sort_cover_order(&mut patterns);
-        Self { patterns, st, n_items: db.n_items() }
+        Self {
+            patterns,
+            st,
+            n_items: db.n_items(),
+        }
     }
 
     /// The standard code table used to price materialised patterns.
@@ -181,7 +185,11 @@ impl CodeTable {
             covers.push(used);
         }
         let total_usage = usages.iter().sum();
-        CoverResult { usages, total_usage, covers }
+        CoverResult {
+            usages,
+            total_usage,
+            covers,
+        }
     }
 
     /// Description length given a cover of the database.
@@ -215,7 +223,11 @@ impl CodeTable {
 }
 
 fn cover_order_key(p: &Pattern) -> (std::cmp::Reverse<usize>, std::cmp::Reverse<u32>, Vec<Item>) {
-    (std::cmp::Reverse(p.len()), std::cmp::Reverse(p.support()), p.items().to_vec())
+    (
+        std::cmp::Reverse(p.len()),
+        std::cmp::Reverse(p.support()),
+        p.items().to_vec(),
+    )
 }
 
 fn sort_cover_order(patterns: &mut [Pattern]) {
@@ -227,12 +239,7 @@ mod tests {
     use super::*;
 
     fn db() -> TransactionDb {
-        TransactionDb::from_rows(vec![
-            vec![0, 1],
-            vec![0, 1],
-            vec![0, 1, 2],
-            vec![2],
-        ])
+        TransactionDb::from_rows(vec![vec![0, 1], vec![0, 1], vec![0, 1, 2], vec![2]])
     }
 
     #[test]
@@ -254,7 +261,11 @@ mod tests {
         let (cover, after) = ct.evaluate(&db);
         assert!(after.total() < before.total());
         // The pair is used three times; singletons 0 and 1 fall to zero.
-        let pair_idx = ct.patterns().iter().position(|p| p.items() == [0, 1]).unwrap();
+        let pair_idx = ct
+            .patterns()
+            .iter()
+            .position(|p| p.items() == [0, 1])
+            .unwrap();
         assert_eq!(cover.usages[pair_idx], 3);
     }
 
@@ -270,7 +281,10 @@ mod tests {
                 .flat_map(|&idx| ct.patterns()[idx as usize].items().iter().copied())
                 .collect();
             reconstructed.sort_unstable();
-            assert_eq!(reconstructed, t, "cover must reproduce the transaction exactly");
+            assert_eq!(
+                reconstructed, t,
+                "cover must reproduce the transaction exactly"
+            );
         }
     }
 

@@ -39,11 +39,20 @@ pub fn eclat(db: &TransactionDb, min_support: u32) -> Vec<FrequentItemset> {
     let mut out = Vec::new();
     // Singletons first.
     for (item, t) in &frequent {
-        out.push(FrequentItemset { items: vec![*item], support: t.len() as u32 });
+        out.push(FrequentItemset {
+            items: vec![*item],
+            support: t.len() as u32,
+        });
     }
     // Depth-first extension.
     for (idx, (item, t)) in frequent.iter().enumerate() {
-        extend(&mut vec![*item], t, &frequent[idx + 1..], min_support, &mut out);
+        extend(
+            &mut vec![*item],
+            t,
+            &frequent[idx + 1..],
+            min_support,
+            &mut out,
+        );
     }
     out
 }
@@ -59,7 +68,10 @@ fn extend(
         let joint = intersect(prefix_tids, t);
         if joint.len() >= min_support as usize {
             prefix.push(*item);
-            out.push(FrequentItemset { items: prefix.clone(), support: joint.len() as u32 });
+            out.push(FrequentItemset {
+                items: prefix.clone(),
+                support: joint.len() as u32,
+            });
             extend(prefix, &joint, &rest[idx + 1..], min_support, out);
             prefix.pop();
         }
@@ -132,12 +144,7 @@ mod tests {
     fn known_supports() {
         let db = toy_db();
         let found = eclat(&db, 3);
-        let get = |items: &[Item]| {
-            found
-                .iter()
-                .find(|f| f.items == items)
-                .map(|f| f.support)
-        };
+        let get = |items: &[Item]| found.iter().find(|f| f.items == items).map(|f| f.support);
         assert_eq!(get(&[0]), Some(4));
         assert_eq!(get(&[0, 1]), Some(3));
         assert_eq!(get(&[0, 1, 2]), None); // support 2 < 3

@@ -22,7 +22,11 @@ pub struct KrimpConfig {
 
 impl Default for KrimpConfig {
     fn default() -> Self {
-        Self { min_support: 2, prune: true, closed_candidates: false }
+        Self {
+            min_support: 2,
+            prune: true,
+            closed_candidates: false,
+        }
     }
 }
 
@@ -58,10 +62,8 @@ pub fn krimp(db: &TransactionDb, config: KrimpConfig) -> KrimpResult {
     } else {
         eclat(db, config.min_support)
     };
-    let mut candidates: Vec<FrequentItemset> = mined
-        .into_iter()
-        .filter(|f| f.items.len() >= 2)
-        .collect();
+    let mut candidates: Vec<FrequentItemset> =
+        mined.into_iter().filter(|f| f.items.len() >= 2).collect();
     candidates.sort_by(|a, b| {
         b.support
             .cmp(&a.support)
@@ -95,7 +97,13 @@ pub fn krimp(db: &TransactionDb, config: KrimpConfig) -> KrimpResult {
         }
     }
 
-    KrimpResult { code_table: ct, dl: best, baseline, accepted, evaluated }
+    KrimpResult {
+        code_table: ct,
+        dl: best,
+        baseline,
+        accepted,
+        evaluated,
+    }
 }
 
 /// Post-acceptance pruning: repeatedly try to drop the non-singleton
@@ -117,7 +125,9 @@ fn prune(ct: &mut CodeTable, db: &TransactionDb, mut best: DlBreakdown) -> (DlBr
             trial.remove(idx);
             let (_, dl) = trial.evaluate(db);
             if dl.total() < best.total() - 1e-9
-                && best_removal.as_ref().is_none_or(|(_, b)| dl.total() < b.total())
+                && best_removal
+                    .as_ref()
+                    .is_none_or(|(_, b)| dl.total() < b.total())
             {
                 best_removal = Some((idx, dl));
             }
@@ -169,24 +179,64 @@ mod tests {
     #[test]
     fn higher_min_support_finds_fewer_or_equal_patterns() {
         let db = patterned_db();
-        let low = krimp(&db, KrimpConfig { min_support: 2, prune: false, ..Default::default() });
-        let high = krimp(&db, KrimpConfig { min_support: 10, prune: false, ..Default::default() });
+        let low = krimp(
+            &db,
+            KrimpConfig {
+                min_support: 2,
+                prune: false,
+                ..Default::default()
+            },
+        );
+        let high = krimp(
+            &db,
+            KrimpConfig {
+                min_support: 10,
+                prune: false,
+                ..Default::default()
+            },
+        );
         assert!(high.evaluated <= low.evaluated);
     }
 
     #[test]
     fn pruning_does_not_hurt() {
         let db = patterned_db();
-        let unpruned = krimp(&db, KrimpConfig { min_support: 2, prune: false, ..Default::default() });
-        let pruned = krimp(&db, KrimpConfig { min_support: 2, prune: true, ..Default::default() });
+        let unpruned = krimp(
+            &db,
+            KrimpConfig {
+                min_support: 2,
+                prune: false,
+                ..Default::default()
+            },
+        );
+        let pruned = krimp(
+            &db,
+            KrimpConfig {
+                min_support: 2,
+                prune: true,
+                ..Default::default()
+            },
+        );
         assert!(pruned.dl.total() <= unpruned.dl.total() + 1e-9);
     }
 
     #[test]
     fn closed_candidates_need_fewer_evaluations() {
         let db = patterned_db();
-        let all = krimp(&db, KrimpConfig { closed_candidates: false, ..Default::default() });
-        let closed = krimp(&db, KrimpConfig { closed_candidates: true, ..Default::default() });
+        let all = krimp(
+            &db,
+            KrimpConfig {
+                closed_candidates: false,
+                ..Default::default()
+            },
+        );
+        let closed = krimp(
+            &db,
+            KrimpConfig {
+                closed_candidates: true,
+                ..Default::default()
+            },
+        );
         assert!(closed.evaluated <= all.evaluated);
         // Both still find the planted pattern and compress comparably.
         assert!(closed.code_table.contains(&[0, 1, 2]));

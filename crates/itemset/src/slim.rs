@@ -26,7 +26,10 @@ pub struct SlimConfig {
 
 impl Default for SlimConfig {
     fn default() -> Self {
-        Self { max_accepted: None, eval_budget_per_iter: 64 }
+        Self {
+            max_accepted: None,
+            eval_budget_per_iter: 64,
+        }
     }
 }
 
@@ -69,10 +72,7 @@ pub fn slim(db: &TransactionDb, config: SlimConfig) -> SlimResult {
         let candidates = ranked_candidates(&ct, &cover);
         let mut improved = false;
         for (x, y, _est) in candidates.into_iter().take(config.eval_budget_per_iter) {
-            let union: Vec<Item> = merge_items(
-                ct.patterns()[x].items(),
-                ct.patterns()[y].items(),
-            );
+            let union: Vec<Item> = merge_items(ct.patterns()[x].items(), ct.patterns()[y].items());
             if ct.contains(&union) {
                 continue;
             }
@@ -94,7 +94,14 @@ pub fn slim(db: &TransactionDb, config: SlimConfig) -> SlimResult {
         }
     }
 
-    SlimResult { code_table: ct, cover, dl, baseline, accepted, evaluated }
+    SlimResult {
+        code_table: ct,
+        cover,
+        dl,
+        baseline,
+        accepted,
+        evaluated,
+    }
 }
 
 /// Candidate pairs of code-table entries ranked by estimated gain.
@@ -117,7 +124,11 @@ fn ranked_candidates(ct: &CodeTable, cover: &CoverResult) -> Vec<(usize, usize, 
     let s = cover.total_usage as f64;
     let code_len = |idx: usize| -> f64 {
         let u = cover.usages[idx];
-        if u == 0 { f64::INFINITY } else { -((u as f64 / s).log2()) }
+        if u == 0 {
+            f64::INFINITY
+        } else {
+            -((u as f64 / s).log2())
+        }
     };
     let mut out: Vec<(usize, usize, f64)> = co
         .into_iter()
@@ -189,7 +200,13 @@ mod tests {
 
     #[test]
     fn max_accepted_caps_model_growth() {
-        let res = slim(&patterned_db(), SlimConfig { max_accepted: Some(1), ..Default::default() });
+        let res = slim(
+            &patterned_db(),
+            SlimConfig {
+                max_accepted: Some(1),
+                ..Default::default()
+            },
+        );
         assert_eq!(res.accepted, 1);
     }
 
@@ -209,7 +226,12 @@ mod tests {
         for (t, used) in db.iter().zip(&res.cover.covers) {
             let mut rebuilt: Vec<Item> = used
                 .iter()
-                .flat_map(|&i| res.code_table.patterns()[i as usize].items().iter().copied())
+                .flat_map(|&i| {
+                    res.code_table.patterns()[i as usize]
+                        .items()
+                        .iter()
+                        .copied()
+                })
                 .collect();
             rebuilt.sort_unstable();
             assert_eq!(rebuilt, t);

@@ -24,14 +24,20 @@ impl TransactionDb {
                 n_items = n_items.max(m as usize + 1);
             }
         }
-        Self { transactions, n_items }
+        Self {
+            transactions,
+            n_items,
+        }
     }
 
     /// Builds a database with an explicit item universe size (useful when
     /// some items never occur).
     pub fn with_item_universe(rows: Vec<Vec<Item>>, n_items: usize) -> Self {
         let mut db = Self::from_rows(rows);
-        assert!(db.n_items <= n_items, "row references item outside universe");
+        assert!(
+            db.n_items <= n_items,
+            "row references item outside universe"
+        );
         db.n_items = n_items;
         db
     }

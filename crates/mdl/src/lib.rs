@@ -8,7 +8,9 @@
 //! * Rissanen's universal code for integers `L_N(n)` (used to price
 //!   integer components of models, as in Krimp);
 //! * entropy and conditional entropy helpers (Eq. 7);
-//! * exact description-length bookkeeping with `0·log 0 = 0`.
+//! * exact description-length bookkeeping with `0·log 0 = 0`;
+//! * a totally-ordered float wrapper ([`OrdF64`]) for the gain-ordered
+//!   collections of the mining engine's candidate scheduler.
 //!
 //! All code lengths are in bits (base-2 logarithms), represented as `f64`.
 //! No actual encoding takes place — as the paper notes, "only the code
@@ -16,8 +18,10 @@
 
 mod codes;
 mod entropy;
+mod ord;
 mod table;
 
 pub use codes::{log2_checked, shannon_len, universal_int_len, xlog2x};
 pub use entropy::{conditional_entropy, entropy, entropy_of_counts};
+pub use ord::OrdF64;
 pub use table::StandardCodeTable;

@@ -1,0 +1,66 @@
+//! Totally-ordered floats for gain-ordered collections.
+
+/// A totally-ordered `f64` wrapper (ordered by [`f64::total_cmp`]), for
+/// use as a key in `BTreeSet`/`BinaryHeap`-style collections of gains
+/// and code lengths.
+///
+/// Description-length deltas are always finite in this workspace, so the
+/// exotic corners of `total_cmp` (NaN ordering, `-0.0 < 0.0`) never
+/// influence mining decisions — they only make the ordering lawful.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OrdF64(pub f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl From<f64> for OrdF64 {
+    fn from(v: f64) -> Self {
+        Self(v)
+    }
+}
+
+impl From<OrdF64> for f64 {
+    fn from(v: OrdF64) -> Self {
+        v.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_like_f64_on_finite_values() {
+        let mut v = vec![OrdF64(3.5), OrdF64(-1.0), OrdF64(0.0), OrdF64(2.25)];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![OrdF64(-1.0), OrdF64(0.0), OrdF64(2.25), OrdF64(3.5)]
+        );
+        assert!(OrdF64(1.0) < OrdF64(2.0));
+        assert_eq!(OrdF64::from(4.0), OrdF64(4.0));
+        assert_eq!(f64::from(OrdF64(4.0)), 4.0);
+    }
+
+    #[test]
+    fn total_order_handles_specials() {
+        // NaN sorts above +inf under total_cmp; equality is reflexive.
+        assert!(OrdF64(f64::NAN) > OrdF64(f64::INFINITY));
+        assert!(OrdF64(f64::NEG_INFINITY) < OrdF64(f64::MIN));
+        let set: std::collections::BTreeSet<OrdF64> = [OrdF64(1.0), OrdF64(1.0), OrdF64(2.0)]
+            .into_iter()
+            .collect();
+        assert_eq!(set.len(), 2);
+    }
+}

@@ -16,7 +16,15 @@ impl Adam {
     /// Creates an optimiser for `n` parameters with learning rate `lr`
     /// and the standard betas (0.9, 0.999).
     pub fn new(n: usize, lr: f64) -> Self {
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: vec![0.0; n], v: vec![0.0; n] }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+        }
     }
 
     /// Applies one update step: `params -= lr · m̂ / (√v̂ + ε)`.

@@ -14,7 +14,11 @@ pub struct Matrix {
 impl Matrix {
     /// Zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Builds from a flat row-major buffer.
@@ -29,7 +33,9 @@ impl Matrix {
     /// Xavier/Glorot-uniform initialisation.
     pub fn xavier(rows: usize, cols: usize, rng: &mut StdRng) -> Self {
         let bound = (6.0 / (rows + cols) as f64).sqrt();
-        let data = (0..rows * cols).map(|_| rng.gen_range(-bound..bound)).collect();
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect();
         Self { rows, cols, data }
     }
 
@@ -123,7 +129,12 @@ impl Matrix {
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&other.data).map(|(&a, &b)| a * b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| a * b)
+                .collect(),
         }
     }
 

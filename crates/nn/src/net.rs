@@ -35,7 +35,12 @@ pub struct NetConfig {
 
 impl Default for NetConfig {
     fn default() -> Self {
-        Self { hidden: 32, lr: 0.01, epochs: 120, seed: 17 }
+        Self {
+            hidden: 32,
+            lr: 0.01,
+            epochs: 120,
+            seed: 17,
+        }
     }
 }
 
@@ -209,8 +214,22 @@ mod tests {
     fn training_reduces_loss() {
         let (x, t, mask) = toy_problem();
         let mut net = TwoLayerNet::new(3, 8, 2, 1);
-        let trace = net.fit(&x, &t, &mask, None, None, &NetConfig { epochs: 200, ..Default::default() });
-        assert!(trace[trace.len() - 1] < trace[0] * 0.5, "trace {:?}", (&trace[0], &trace[trace.len() - 1]));
+        let trace = net.fit(
+            &x,
+            &t,
+            &mask,
+            None,
+            None,
+            &NetConfig {
+                epochs: 200,
+                ..Default::default()
+            },
+        );
+        assert!(
+            trace[trace.len() - 1] < trace[0] * 0.5,
+            "trace {:?}",
+            (&trace[0], &trace[trace.len() - 1])
+        );
     }
 
     #[test]
@@ -218,7 +237,17 @@ mod tests {
         let (x, t, _) = toy_problem();
         let mask = vec![true, true, false, false];
         let mut net = TwoLayerNet::new(3, 8, 2, 1);
-        net.fit(&x, &t, &mask, None, None, &NetConfig { epochs: 50, ..Default::default() });
+        net.fit(
+            &x,
+            &t,
+            &mask,
+            None,
+            None,
+            &NetConfig {
+                epochs: 50,
+                ..Default::default()
+            },
+        );
         // Loss on the masked rows only is not optimised, so the trained
         // loss on observed rows should be lower.
         let observed = net.loss(&x, &t, &mask, None, None);
@@ -231,7 +260,8 @@ mod tests {
     #[test]
     fn gradients_match_finite_differences() {
         let (x, t, mask) = toy_problem();
-        let p = SparseMatrix::normalized_adjacency(&[vec![1], vec![0, 2], vec![1, 3], vec![2]], 1.0);
+        let p =
+            SparseMatrix::normalized_adjacency(&[vec![1], vec![0, 2], vec![1, 3], vec![2]], 1.0);
         for prop in [None, Some(&p)] {
             let mut net = TwoLayerNet::new(3, 4, 2, 2);
             // One analytic step with tiny lr; compare direction against

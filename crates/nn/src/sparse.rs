@@ -28,7 +28,13 @@ impl SparseMatrix {
             }
             row_ptr.push(col_idx.len());
         }
-        Self { n_rows: rows.len(), n_cols, row_ptr, col_idx, values }
+        Self {
+            n_rows: rows.len(),
+            n_cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// Identity operator.

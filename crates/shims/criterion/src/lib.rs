@@ -1,0 +1,303 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the benchmarking subset the workspace's `benches/` use:
+//! `Criterion::{bench_function, benchmark_group}`, `Bencher::{iter,
+//! iter_batched}`, `BatchSize`, and the `criterion_group!` /
+//! `criterion_main!` macros. Measurement is a simple adaptive loop —
+//! warm up, then time batches until a wall-clock budget is spent — and
+//! the median per-iteration time is printed in criterion's familiar
+//! `name  time: [..]` shape. Set `CSPM_BENCH_JSON=<path>` to also append
+//! `{"name", "median_ns", "iters"}` JSON lines for machine consumption.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortises setup (accepted, not acted upon).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per measured iteration.
+    PerIteration,
+}
+
+/// Per-benchmark measurement settings.
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    /// Minimum measured iterations.
+    min_iters: u64,
+    /// Wall-clock budget for measurement.
+    budget: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Self {
+            min_iters: 10,
+            budget: Duration::from_millis(800),
+        }
+    }
+}
+
+/// One recorded result.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Benchmark id (`group/name` for grouped benches).
+    pub name: String,
+    /// Median per-iteration nanoseconds.
+    pub median_ns: f64,
+    /// Iterations measured.
+    pub iters: u64,
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+    samples: Vec<Sample>,
+}
+
+impl Criterion {
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            settings: self.settings,
+            times_ns: Vec::new(),
+            iters: 0,
+        };
+        f(&mut b);
+        let sample = b.finish(&name.into());
+        report(&sample);
+        self.samples.push(sample);
+        self
+    }
+
+    /// Starts a named group; benchmarks inside are reported as
+    /// `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let settings = self.settings;
+        BenchmarkGroup {
+            criterion: self,
+            prefix: name.to_string(),
+            settings,
+        }
+    }
+
+    /// All samples recorded so far.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    prefix: String,
+    settings: Settings,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Caps the measured iterations (upstream semantics: statistical
+    /// sample count; here: the minimum iteration count).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.min_iters = (n as u64).max(1);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            settings: self.settings,
+            times_ns: Vec::new(),
+            iters: 0,
+        };
+        f(&mut b);
+        let sample = b.finish(&format!("{}/{}", self.prefix, name.into()));
+        report(&sample);
+        self.criterion.samples.push(sample);
+        self
+    }
+
+    /// Ends the group (no-op; provided for API parity).
+    pub fn finish(self) {}
+}
+
+/// Measures a routine.
+pub struct Bencher {
+    settings: Settings,
+    times_ns: Vec<f64>,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warmup = Instant::now();
+        let mut warm = 0u64;
+        while warm < 2 || (warmup.elapsed() < Duration::from_millis(50) && warm < 1_000) {
+            std::hint::black_box(routine());
+            warm += 1;
+        }
+        let started = Instant::now();
+        while self.iters < self.settings.min_iters || started.elapsed() < self.settings.budget {
+            let t = Instant::now();
+            std::hint::black_box(routine());
+            self.times_ns.push(t.elapsed().as_nanos() as f64);
+            self.iters += 1;
+            if self.iters >= 1_000_000 {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup` (setup excluded from
+    /// the measurement).
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        std::hint::black_box(routine(setup()));
+        let started = Instant::now();
+        while self.iters < self.settings.min_iters || started.elapsed() < self.settings.budget {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            self.times_ns.push(t.elapsed().as_nanos() as f64);
+            self.iters += 1;
+            if self.iters >= 1_000_000 {
+                break;
+            }
+        }
+    }
+
+    fn finish(mut self, name: &str) -> Sample {
+        self.times_ns.sort_by(f64::total_cmp);
+        let median_ns = if self.times_ns.is_empty() {
+            0.0
+        } else {
+            self.times_ns[self.times_ns.len() / 2]
+        };
+        Sample {
+            name: name.to_string(),
+            median_ns,
+            iters: self.iters,
+        }
+    }
+}
+
+fn report(sample: &Sample) {
+    println!(
+        "{:<40} time: [{}]  ({} iters)",
+        sample.name,
+        fmt_ns(sample.median_ns),
+        sample.iters
+    );
+    if let Ok(path) = std::env::var("CSPM_BENCH_JSON") {
+        use std::io::Write as _;
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            let _ = writeln!(
+                f,
+                "{{\"name\":\"{}\",\"median_ns\":{:.1},\"iters\":{}}}",
+                sample.name, sample.median_ns, sample.iters
+            );
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Bundles benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_a_sample() {
+        // Tiny budget so the test is fast.
+        let mut c = Criterion {
+            settings: Settings {
+                min_iters: 3,
+                budget: Duration::from_millis(1),
+            },
+            ..Default::default()
+        };
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        assert_eq!(c.samples().len(), 1);
+        assert!(c.samples()[0].iters >= 3);
+        assert!(c.samples()[0].median_ns >= 0.0);
+    }
+
+    #[test]
+    fn groups_prefix_names() {
+        let mut c = Criterion {
+            settings: Settings {
+                min_iters: 1,
+                budget: Duration::from_millis(1),
+            },
+            ..Default::default()
+        };
+        {
+            let mut g = c.benchmark_group("grp");
+            g.sample_size(2);
+            g.bench_function("x", |b| {
+                b.iter_batched(|| 7u64, |v| v * 2, BatchSize::SmallInput)
+            });
+            g.finish();
+        }
+        assert_eq!(c.samples()[0].name, "grp/x");
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("µs"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(2e9).ends_with(" s"));
+    }
+}

@@ -1,0 +1,409 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Provides the subset this workspace's property tests use: the
+//! [`Strategy`] trait with `prop_map`, range / tuple / `any` strategies,
+//! [`collection::vec`], the [`proptest!`] macro with an optional
+//! `#![proptest_config(...)]` header, and the `prop_assert*` /
+//! `prop_assume!` macros. Cases are generated from a deterministic
+//! seeded RNG; there is no shrinking — failures report the case number
+//! and seed so a failing case can be replayed by re-running the test.
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng as _};
+
+/// Test-case RNG handed to strategies.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Deterministic RNG for `case` of the test seeded by `seed`.
+    pub fn for_case(seed: u64, case: u32) -> Self {
+        Self(StdRng::seed_from_u64(
+            seed ^ (0x9E37_79B9 + case as u64).wrapping_mul(0x1000_0001),
+        ))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0.gen()
+    }
+
+    fn uniform_f64(&mut self) -> f64 {
+        self.0.gen()
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        self.0.gen_range(0..n.max(1))
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end as i128 - self.start as i128) as u128;
+                assert!(span > 0, "empty range strategy");
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let span = (*self.end() as i128 - *self.start() as i128) as u128 + 1;
+                (*self.start() as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.uniform_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $i:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Types with a canonical full-domain strategy ([`any`]).
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy over the full domain of `T`.
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — the canonical strategy of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+
+    /// Element counts accepted by [`vec`]: a fixed size or a size range.
+    pub trait SizeRange {
+        /// Draws a concrete length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for core::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty vec size range");
+            self.start + rng.below(self.end - self.start)
+        }
+    }
+
+    impl SizeRange for core::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            self.start() + rng.below(self.end() - self.start() + 1)
+        }
+    }
+
+    /// Strategy for vectors of `element` values with `size` elements.
+    pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+
+    /// The result of [`vec`].
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// Runner configuration (only `cases` is honoured).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// Assertion failure: the property is violated.
+    Fail(String),
+    /// `prop_assume!` rejection: the case does not apply.
+    Reject,
+}
+
+/// Runs `body` for every case; used by the [`proptest!`] expansion.
+pub fn run_cases<F>(test_name: &str, config: &ProptestConfig, mut body: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    // Stable per-test seed: tests are reproducible run over run.
+    let seed = test_name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3)
+    });
+    let mut rejected = 0u32;
+    let mut case = 0u32;
+    let max_rejects = config.cases.saturating_mul(16).max(256);
+    let mut run = 0u32;
+    while run < config.cases {
+        if rejected > max_rejects {
+            panic!("{test_name}: too many prop_assume! rejections ({rejected})");
+        }
+        let mut rng = TestRng::for_case(seed, case);
+        case += 1;
+        match body(&mut rng) {
+            Ok(()) => run += 1,
+            Err(TestCaseError::Reject) => rejected += 1,
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{test_name}: property failed at case {case} (seed {seed:#x}): {msg}")
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a property test module needs.
+
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Declares property tests. Supports the upstream surface form:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(48))]
+///     #[test]
+///     fn prop(x in 0u64..10, v in proptest::collection::vec(any::<bool>(), 3)) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            $crate::run_cases(stringify!($name), &config, |rng| {
+                $(let $arg = $crate::Strategy::new_value(&($strategy), rng);)*
+                $body
+                Ok(())
+            });
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "msg {}", args)`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `prop_assert_eq!(a, b)` with optional message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}` (left: {:?}, right: {:?})",
+            stringify!($a),
+            stringify!($b),
+            left,
+            right
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(left == right, $($fmt)*);
+    }};
+}
+
+/// `prop_assert_ne!(a, b)` with optional message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{} != {}` (both: {:?})",
+            stringify!($a),
+            stringify!($b),
+            left
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(left != right, $($fmt)*);
+    }};
+}
+
+/// Skips cases whose inputs do not satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 5u64..25, f in -1.0f64..1.0) {
+            prop_assert!((5..25).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_strategy_honours_len(v in crate::collection::vec(0u32..7, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 7));
+        }
+
+        #[test]
+        fn prop_map_applies(n in (1usize..4).prop_map(|n| n * 10)) {
+            prop_assert!(n == 10 || n == 20 || n == 30, "unexpected {}", n);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(a in 0u32..10) {
+            prop_assume!(a % 2 == 0);
+            prop_assert_eq!(a % 2, 0);
+            prop_assert_ne!(a % 2, 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failures_panic_with_case_info() {
+        crate::run_cases("always_fails", &ProptestConfig::with_cases(4), |_rng| {
+            Err(TestCaseError::Fail("boom".into()))
+        });
+    }
+}

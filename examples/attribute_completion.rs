@@ -25,11 +25,17 @@ fn main() {
 
     // Hide 40% of the nodes' attributes (the paper's protocol).
     let task = CompletionTask::split(&dataset.graph, 0.4, 99);
-    println!("{} attribute-missing nodes to complete\n", task.test_nodes.len());
+    println!(
+        "{} attribute-missing nodes to complete\n",
+        task.test_nodes.len()
+    );
 
     // Mine a-stars on the observed part only, then score with Alg. 5.
     let scorer = CspmScorer::fit(&task);
-    println!("CSPM mined {} a-stars from the observed graph", scorer.model().len());
+    println!(
+        "CSPM mined {} a-stars from the observed graph",
+        scorer.model().len()
+    );
     let cspm_scores = scorer.score_all(&task);
 
     // Baseline: parameterless neighbour aggregation.
@@ -45,11 +51,18 @@ fn main() {
             n += ndcg_at_k(scores.row(v as usize), task.truth(v), k);
         }
         let count = task.test_nodes.len() as f64;
-        println!("{name:<18} Recall@{k} {:.4}  NDCG@{k} {:.4}", r / count, n / count);
+        println!(
+            "{name:<18} Recall@{k} {:.4}  NDCG@{k} {:.4}",
+            r / count,
+            n / count
+        );
         r / count
     };
 
     let a = evaluate(&plain, "NeighAggre");
     let b = evaluate(&fused, "CSPM+NeighAggre");
-    println!("\nimprovement from CSPM fusion: {:+.1}%", (b / a - 1.0) * 100.0);
+    println!(
+        "\nimprovement from CSPM fusion: {:+.1}%",
+        (b / a - 1.0) * 100.0
+    );
 }

@@ -33,7 +33,12 @@ fn main() {
 
     println!("top trend patterns:");
     for m in result.model.non_trivial(2).take(6) {
-        println!("  {}  fL={} L={:.2}", m.astar.display(g.attrs()), m.frequency, m.code_len);
+        println!(
+            "  {}  fL={} L={:.2}",
+            m.astar.display(g.attrs()),
+            m.frequency,
+            m.code_len
+        );
     }
 
     // Look for the planted correlation among the mined patterns.

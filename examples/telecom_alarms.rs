@@ -16,7 +16,11 @@ fn main() {
     // 300 types decomposing into 121 pairs; scaled down here).
     let topo = TelecomTopology::generate(4, 12, 80, 42);
     let rules = RuleLibrary::generate(8, 40, 100, 43);
-    let cfg = SimConfig { n_events: 20_000, n_windows: 120, ..Default::default() };
+    let cfg = SimConfig {
+        n_events: 20_000,
+        n_windows: 120,
+        ..Default::default()
+    };
     let events = simulate(&topo, &rules, &cfg);
     println!(
         "simulated {} alarms on {} devices / {} links; {} ground-truth pair rules",
@@ -28,13 +32,23 @@ fn main() {
 
     let cspm = cspm_rank(&topo, &events, cfg.window_ms);
     let acor = acor_rank(&topo, &events, cfg.window_ms);
-    println!("CSPM produced {} ranked rules, ACOR {}", cspm.len(), acor.len());
+    println!(
+        "CSPM produced {} ranked rules, ACOR {}",
+        cspm.len(),
+        acor.len()
+    );
 
     println!("\ntop-5 CSPM rules (cause -> derivative, valid?):");
     let valid = rules.pair_rules();
     for r in cspm.iter().take(5) {
         let ok = valid.contains(&(r.cause, r.derivative));
-        println!("  A{} -> A{}  score {:.2}  {}", r.cause, r.derivative, r.score, if ok { "valid" } else { "-" });
+        println!(
+            "  A{} -> A{}  score {:.2}  {}",
+            r.cause,
+            r.derivative,
+            r.score,
+            if ok { "valid" } else { "-" }
+        );
     }
 
     let ks = [10usize, 25, 50, 100, 200, 400];
@@ -48,7 +62,14 @@ fn main() {
 
     // The AABD deployment use case: suppress derivative alarms whose
     // cause is active nearby, showing operators only root causes.
-    let report = compress_log(&topo, &events, &cspm, 2 * valid.len(), cfg.window_ms, Some(&rules));
+    let report = compress_log(
+        &topo,
+        &events,
+        &cspm,
+        2 * valid.len(),
+        cfg.window_ms,
+        Some(&rules),
+    );
     println!(
         "\nalarm compression with top-{} CSPM rules: {} of {} alarms suppressed \
          ({:.1}%), suppression precision {:.3}",

@@ -11,7 +11,7 @@
 //! | [`graph`] | `cspm-graph` | attributed graphs, stars, a-stars, I/O |
 //! | [`mdl`] | `cspm-mdl` | code tables, entropy, universal codes |
 //! | [`itemset`] | `cspm-itemset` | transactions, Eclat, Krimp, SLIM |
-//! | [`core`] | `cspm-core` | the CSPM algorithm (Basic + Partial) |
+//! | [`core`] | `cspm-core` | the CSPM mining engine: flat posting store, candidate scheduler, Basic/Partial policies |
 //! | [`datasets`] | `cspm-datasets` | seeded benchmark generators |
 //! | [`nn`] | `cspm-nn` | minimal neural-network substrate |
 //! | [`completion`] | `cspm-completion` | node attribute completion (Table IV) |

@@ -13,9 +13,7 @@
 use std::fs::File;
 use std::process::ExitCode;
 
-use cspm::core::{
-    cspm_basic, cspm_partial, verify_lossless, CoresetMode, CspmConfig, GainPolicy, ModelSummary,
-};
+use cspm::core::{verify_lossless, CoresetMode, CspmConfig, GainPolicy, ModelSummary, Variant};
 use cspm::datasets::{dblp_like, dblp_trend_like, pokec_like, save_dataset, usflight_like, Scale};
 use cspm::graph::{metrics, read_graph, AttributedGraph};
 
@@ -57,12 +55,12 @@ fn load(path: &str) -> Result<AttributedGraph, String> {
 fn mine(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("mine needs a graph file")?;
     let mut config = CspmConfig::default();
-    let mut basic = false;
+    let mut variant = Variant::Partial;
     let mut top = 20usize;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--basic" => basic = true,
+            "--basic" => variant = Variant::Basic,
             "--data-only" => config.gain_policy = GainPolicy::DataOnly,
             "--top" => {
                 top = it
@@ -81,11 +79,8 @@ fn mine(args: &[String]) -> Result<(), String> {
         }
     }
     let g = load(path)?;
-    let result = if basic {
-        cspm_basic(&g, config)
-    } else {
-        cspm_partial(&g, config)
-    };
+    // Both variants are scheduling policies of the same engine.
+    let result = cspm::core::mine(&g, variant, config);
     println!(
         "mined {} a-stars in {} merges; DL {:.1} -> {:.1} bits (ratio {:.3})",
         result.model.len(),
@@ -165,7 +160,10 @@ fn generate(args: &[String]) -> Result<(), String> {
     save_dataset(&dataset, std::path::Path::new(out))
         .map_err(|e| format!("cannot write {out}: {e}"))?;
     let (n, m, a) = dataset.statistics();
-    println!("wrote {} ({n} vertices, {m} edges, {a} attribute values) to {out}", dataset.name);
+    println!(
+        "wrote {} ({n} vertices, {m} edges, {a} attribute values) to {out}",
+        dataset.name
+    );
     Ok(())
 }
 
@@ -174,7 +172,7 @@ fn verify(args: &[String]) -> Result<(), String> {
     let g = load(path)?;
     g.validate()
         .map_err(|e| format!("input constraint violated: {e}"))?;
-    let result = cspm_partial(&g, CspmConfig::default());
+    let result = cspm::core::mine(&g, Variant::Partial, CspmConfig::default());
     let errors = verify_lossless(&g, &result.db);
     if errors.is_empty() {
         println!(
@@ -184,6 +182,9 @@ fn verify(args: &[String]) -> Result<(), String> {
         );
         Ok(())
     } else {
-        Err(format!("lossless verification failed with {} errors", errors.len()))
+        Err(format!(
+            "lossless verification failed with {} errors",
+            errors.len()
+        ))
     }
 }

@@ -4,8 +4,8 @@
 use cspm::alarm::{
     acor_rank, coverage_curve, cspm_rank, simulate, RuleLibrary, SimConfig, TelecomTopology,
 };
-use cspm::completion::{fuse_scores, recall_at_k, CompletionTask, CspmScorer, NeighAggre};
 use cspm::completion::CompletionModel;
+use cspm::completion::{fuse_scores, recall_at_k, CompletionTask, CspmScorer, NeighAggre};
 use cspm::datasets::{citation_completion, CompletionKind, Scale};
 
 #[test]
@@ -46,7 +46,11 @@ fn completion_scorer_has_no_leakage() {
 fn alarm_pipeline_both_rankers_converge_to_full_coverage() {
     let topo = TelecomTopology::generate(3, 8, 40, 5);
     let rules = RuleLibrary::generate(5, 15, 50, 6);
-    let cfg = SimConfig { n_events: 6000, n_windows: 80, ..Default::default() };
+    let cfg = SimConfig {
+        n_events: 6000,
+        n_windows: 80,
+        ..Default::default()
+    };
     let events = simulate(&topo, &rules, &cfg);
     let valid = rules.pair_rules();
 
@@ -74,7 +78,11 @@ fn alarm_rules_rank_above_noise() {
     // Valid rules should be strongly over-represented in CSPM's top-|valid|.
     let topo = TelecomTopology::generate(3, 8, 40, 5);
     let rules = RuleLibrary::generate(5, 15, 50, 6);
-    let cfg = SimConfig { n_events: 6000, n_windows: 80, ..Default::default() };
+    let cfg = SimConfig {
+        n_events: 6000,
+        n_windows: 80,
+        ..Default::default()
+    };
     let events = simulate(&topo, &rules, &cfg);
     let valid = rules.pair_rules();
     let ranked = cspm_rank(&topo, &events, cfg.window_ms);

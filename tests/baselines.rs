@@ -2,7 +2,7 @@
 //! (the Table III protocol) and multi-value coresets via Krimp/SLIM
 //! (§IV-F Step 1).
 
-use cspm::core::{cspm_partial, CoresetMode, CspmConfig, InvertedDb, GainPolicy};
+use cspm::core::{cspm_partial, CoresetMode, CspmConfig, GainPolicy, InvertedDb};
 use cspm::datasets::{dblp_like, Scale};
 use cspm::graph::AttributedGraph;
 use cspm::itemset::{slim, SlimConfig, TransactionDb};
@@ -29,7 +29,11 @@ fn slim_on_graph_compresses_dblp_like() {
     let d = dblp_like(Scale::Tiny, 3);
     let db = graph_to_transactions(&d.graph);
     let res = slim(&db, SlimConfig::default());
-    assert!(res.compression_ratio() < 1.0, "ratio {}", res.compression_ratio());
+    assert!(
+        res.compression_ratio() < 1.0,
+        "ratio {}",
+        res.compression_ratio()
+    );
     assert!(res.accepted > 0);
 }
 
@@ -66,7 +70,10 @@ fn multi_value_coresets_via_krimp_and_slim() {
         assert!(db.coreset_count() > 0, "{mode:?}");
         let has_multi = db.coresets().iter().any(|c| c.items.len() >= 2);
         assert!(has_multi, "{mode:?} produced only singleton coresets");
-        let cfg = CspmConfig { coreset_mode: mode, ..Default::default() };
+        let cfg = CspmConfig {
+            coreset_mode: mode,
+            ..Default::default()
+        };
         let res = cspm_partial(&g, cfg);
         assert!(res.final_dl <= res.initial_dl + 1e-9);
     }
@@ -74,7 +81,10 @@ fn multi_value_coresets_via_krimp_and_slim() {
     // even when the pre-pass keeps only singletons.
     let d = dblp_like(Scale::Tiny, 3);
     for mode in [CoresetMode::Krimp { min_support: 2 }, CoresetMode::Slim] {
-        let cfg = CspmConfig { coreset_mode: mode, ..Default::default() };
+        let cfg = CspmConfig {
+            coreset_mode: mode,
+            ..Default::default()
+        };
         let res = cspm_partial(&d.graph, cfg);
         assert!(res.final_dl <= res.initial_dl + 1e-9, "{mode:?}");
     }

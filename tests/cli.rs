@@ -25,7 +25,9 @@ fn generate_stats_mine_verify_pipeline() {
     let path = temp_path("pipeline.graph");
     let path_str = path.to_str().unwrap();
 
-    let (ok, stdout, _) = cspm(&["generate", "usflight", path_str, "--scale", "tiny", "--seed", "5"]);
+    let (ok, stdout, _) = cspm(&[
+        "generate", "usflight", path_str, "--scale", "tiny", "--seed", "5",
+    ]);
     assert!(ok, "generate failed");
     assert!(stdout.contains("USFlight"));
 

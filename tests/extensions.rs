@@ -37,20 +37,34 @@ fn dynamic_union_mining_is_lossless() {
     let union = seq.union_graph();
     let result = mine_dynamic(&seq, Variant::Partial, CspmConfig::default());
     let errors = verify_lossless(&union, &result.result.db);
-    assert!(errors.is_empty(), "union mining lost information: {errors:?}");
+    assert!(
+        errors.is_empty(),
+        "union mining lost information: {errors:?}"
+    );
 }
 
 #[test]
 fn classification_end_to_end() {
     let data = labeled_graph_collection(
         2,
-        CollectionConfig { graphs_per_class: 16, ..Default::default() },
+        CollectionConfig {
+            graphs_per_class: 16,
+            ..Default::default()
+        },
     );
-    let cfg = NetConfig { hidden: 16, epochs: 200, ..Default::default() };
+    let cfg = NetConfig {
+        hidden: 16,
+        epochs: 200,
+        ..Default::default()
+    };
     let report = train_classifier(&data, 0.3, 16, &cfg, 11);
     // Structural classes: a-star features must clearly beat both chance
     // and the structure-blind histogram baseline.
-    assert!(report.astar_accuracy >= 0.8, "accuracy {}", report.astar_accuracy);
+    assert!(
+        report.astar_accuracy >= 0.8,
+        "accuracy {}",
+        report.astar_accuracy
+    );
     assert!(
         report.astar_accuracy > report.histogram_accuracy + 0.2,
         "a-star {} vs histogram {}",
@@ -66,6 +80,11 @@ fn lossless_verification_on_every_benchmark() {
     for d in cspm::datasets::benchmark_suite(Scale::Tiny, 1234) {
         let result = cspm::core::cspm_partial(&d.graph, CspmConfig::default());
         let errors = verify_lossless(&d.graph, &result.db);
-        assert!(errors.is_empty(), "{}: {} decode errors", d.name, errors.len());
+        assert!(
+            errors.is_empty(),
+            "{}: {} decode errors",
+            d.name,
+            errors.len()
+        );
     }
 }

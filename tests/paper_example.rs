@@ -48,8 +48,7 @@ fn fig4_merge_appears_in_final_model() {
         assert!(result.merges >= 1);
         assert!(result.final_dl < result.initial_dl);
         let bc = result.model.astars().iter().find(|m| {
-            m.astar.coreset() == [at.a]
-                && m.astar.leafset() == [at.b.min(at.c), at.b.max(at.c)]
+            m.astar.coreset() == [at.a] && m.astar.leafset() == [at.b.min(at.c), at.b.max(at.c)]
         });
         let bc = bc.expect("({a},{b,c}) must be mined");
         assert_eq!(bc.frequency, 2); // positions {v1, v5}
@@ -68,11 +67,14 @@ fn output_is_ranked_by_code_length() {
 #[test]
 fn conditional_entropy_drops_with_merging() {
     let (g, _) = paper_example();
-    let before = InvertedDb::build(&g, CoresetMode::SingleValue, GainPolicy::DataOnly)
-        .conditional_entropy();
+    let before =
+        InvertedDb::build(&g, CoresetMode::SingleValue, GainPolicy::DataOnly).conditional_entropy();
     let after = cspm_basic(
         &g,
-        CspmConfig { gain_policy: GainPolicy::DataOnly, ..Default::default() },
+        CspmConfig {
+            gain_policy: GainPolicy::DataOnly,
+            ..Default::default()
+        },
     )
     .db
     .conditional_entropy();

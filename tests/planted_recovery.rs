@@ -12,7 +12,10 @@ fn planted_astars_are_rediscovered_and_ranked_high() {
     ];
     let (g, truth) = planted_astars(
         patterns,
-        PlantedConfig { occurrences_per_pattern: 40, ..Default::default() },
+        PlantedConfig {
+            occurrences_per_pattern: 40,
+            ..Default::default()
+        },
     );
     let result = cspm_partial(&g, CspmConfig::default());
 
@@ -39,7 +42,11 @@ fn planted_astars_are_rediscovered_and_ranked_high() {
         .iter()
         .position(|m| m.astar.leafset().len() >= 2)
         .expect("a merged pattern exists");
-    assert!(rank * 10 <= result.model.len(), "rank {rank} of {}", result.model.len());
+    assert!(
+        rank * 10 <= result.model.len(),
+        "rank {rank} of {}",
+        result.model.len()
+    );
 }
 
 #[test]
@@ -65,7 +72,10 @@ fn pokec_music_pattern_shape() {
         })
         .max()
         .unwrap_or(0);
-    assert!(best_bundle >= 3, "largest young-genre bundle only {best_bundle}");
+    assert!(
+        best_bundle >= 3,
+        "largest young-genre bundle only {best_bundle}"
+    );
 }
 
 #[test]

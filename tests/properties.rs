@@ -26,7 +26,8 @@ fn arb_graph() -> impl Strategy<Value = AttributedGraph> {
         }
         for v in 0..n {
             if next() % 2 == 0 {
-                b.add_label(v as u32, &format!("a{}", (next() as usize) % k)).unwrap();
+                b.add_label(v as u32, &format!("a{}", (next() as usize) % k))
+                    .unwrap();
             }
         }
         for v in 1..n {
