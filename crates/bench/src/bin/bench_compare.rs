@@ -1,0 +1,128 @@
+//! CI bench-regression gate: diffs a fresh `BENCH_engine.json` against
+//! the committed baseline and fails on merge-loop slowdowns.
+//!
+//! ```text
+//! bench_compare [--baseline FILE] [--fresh FILE] [--threshold PCT] [--floor-ms MS]
+//! ```
+//!
+//! Prints a markdown table of every timing either way. The gate applies
+//! only to `merge_loop` timings present in both files: the job fails
+//! (exit 1) when a fresh timing exceeds the baseline by more than
+//! `--threshold` percent (default 15) *and* by more than `--floor-ms`
+//! milliseconds (default 0.5 — microsecond-scale timings jitter far
+//! beyond 15% on shared CI runners, and a relative gate alone would
+//! flake). Replay timings and timings missing from either side are
+//! reported but never gated.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut baseline_path = "BENCH_engine.json".to_string();
+    let mut fresh_path = "BENCH_engine.fresh.json".to_string();
+    let mut threshold_pct = 15.0f64;
+    let mut floor_ms = 0.5f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--baseline" => baseline_path = args.next().expect("--baseline FILE"),
+            "--fresh" => fresh_path = args.next().expect("--fresh FILE"),
+            "--threshold" => {
+                threshold_pct = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--threshold PCT");
+            }
+            "--floor-ms" => {
+                floor_ms = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--floor-ms MS");
+            }
+            other => panic!("unknown argument '{other}'"),
+        }
+    }
+
+    let baseline = read_timings(&baseline_path);
+    let fresh = read_timings(&fresh_path);
+    let mut failures: Vec<String> = Vec::new();
+
+    println!("## Engine bench comparison");
+    println!();
+    println!("baseline `{baseline_path}` vs fresh `{fresh_path}`");
+    println!();
+    println!("| timing | baseline (s) | fresh (s) | Δ | gate |");
+    println!("|---|---:|---:|---:|---|");
+    let mut names: Vec<&String> = baseline.keys().chain(fresh.keys()).collect();
+    names.sort();
+    names.dedup();
+    for name in names {
+        let gated = name.contains("merge_loop");
+        match (baseline.get(name), fresh.get(name)) {
+            (Some(&b), Some(&f)) => {
+                let delta_pct = if b > 0.0 { (f - b) / b * 100.0 } else { 0.0 };
+                let regressed = gated && delta_pct > threshold_pct && (f - b) * 1e3 > floor_ms;
+                let verdict = match (gated, regressed) {
+                    (true, true) => "**FAIL**",
+                    (true, false) => "ok",
+                    (false, _) => "info",
+                };
+                println!("| {name} | {b:.6} | {f:.6} | {delta_pct:+.1}% | {verdict} |");
+                if regressed {
+                    failures.push(format!("{name}: {b:.6}s -> {f:.6}s ({delta_pct:+.1}%)"));
+                }
+            }
+            (Some(&b), None) => println!("| {name} | {b:.6} | — | | removed |"),
+            (None, Some(&f)) => println!("| {name} | — | {f:.6} | | new |"),
+            (None, None) => unreachable!(),
+        }
+    }
+    println!();
+    if failures.is_empty() {
+        println!("No merge-loop timing regressed beyond {threshold_pct}% (+{floor_ms}ms floor).");
+        ExitCode::SUCCESS
+    } else {
+        println!("Merge-loop regressions beyond {threshold_pct}%:");
+        for f in &failures {
+            println!("- {f}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+/// Parses the `timings_secs` object of a `BENCH_engine.json`. The file
+/// is written by `bench_engine` in a fixed shape (one `"name": secs`
+/// pair per line), so a line-oriented parse is sufficient and keeps the
+/// gate dependency-free.
+fn read_timings(path: &str) -> BTreeMap<String, f64> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {path}: {e} (run bench_engine first)"));
+    let mut out = BTreeMap::new();
+    let mut in_timings = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.starts_with("\"timings_secs\"") {
+            in_timings = true;
+            continue;
+        }
+        if !in_timings {
+            continue;
+        }
+        if line.starts_with('}') {
+            break;
+        }
+        let Some((key, value)) = line.split_once(':') else {
+            continue;
+        };
+        let key = key.trim().trim_matches('"');
+        let value = value.trim().trim_end_matches(',');
+        if let Ok(secs) = value.parse::<f64>() {
+            out.insert(key.to_string(), secs);
+        }
+    }
+    assert!(
+        !out.is_empty(),
+        "no timings found in {path}: not a bench_engine output?"
+    );
+    out
+}

@@ -7,8 +7,15 @@
 //!
 //! Measures, per dataset: the posting-store replay (flat arena vs the
 //! seed's HashMap-row baseline over an identical merge schedule — see
-//! `cspm_bench::enginebench`), and the engine's two scheduling policies
-//! end to end on a pre-built inverted database.
+//! `cspm_bench::enginebench`), the engine's two scheduling policies
+//! end to end on a pre-built inverted database, and a thread sweep of
+//! the incremental merge loop (`merge_loop_incremental_t{1,2,4,8}`).
+//! FullRegeneration is recorded on every dataset: past the delegation
+//! threshold (Pokec) it completes by delegating to the incremental
+//! policy instead of being skipped.
+//!
+//! `bench_compare` diffs the emitted JSON against the committed
+//! baseline and gates CI on merge-loop regressions.
 
 use std::io::Write as _;
 use std::time::Instant;
@@ -113,21 +120,72 @@ fn main() {
             ("incremental", SchedulePolicy::Incremental),
             ("full_regeneration", SchedulePolicy::FullRegeneration),
         ] {
-            // Full regeneration is O(pairs × merges); at tens of
-            // thousands of initial pairs a timed run takes minutes, so
-            // it is only recorded on modest candidate sets.
-            if policy == SchedulePolicy::FullRegeneration && initial_pairs > 5_000 {
-                println!("  merge loop [{label}]: skipped ({initial_pairs} initial pairs)");
-                continue;
-            }
+            // Full regeneration is O(pairs × merges); past the
+            // delegation threshold (Pokec at this scale) the run
+            // completes by delegating to the incremental policy —
+            // previously it had to be skipped outright.
+            let config = CspmConfig {
+                full_regen_max_pairs: Some(5_000),
+                ..CspmConfig::default()
+            };
+            let mut delegated = false;
+            let (mut evals, mut pruned) = (0u64, 0u64);
             let secs = median_secs_batched(
                 reps,
                 || db.clone(),
-                |db| run_on_db(db, policy, CspmConfig::default()),
+                |db| {
+                    let res = run_on_db(db, policy, config);
+                    delegated = res.stats.delegated;
+                    evals = res.stats.total_gain_evals;
+                    pruned = res.stats.pruned_pairs;
+                    res
+                },
             );
-            println!("  merge loop [{label}]: {}", fmt_secs(secs));
+            let note = if delegated {
+                format!(" (delegated: {initial_pairs} initial pairs)")
+            } else {
+                String::new()
+            };
+            println!(
+                "  merge loop [{label}]: {}{note} ({pruned}/{evals} evals pruned)",
+                fmt_secs(secs)
+            );
             records.push(Record {
                 name: format!("{}/merge_loop_{label}", d.name),
+                secs,
+            });
+        }
+
+        // Thread sweep over the incremental merge loop: scoring fans
+        // out across scoped workers; results are bit-identical at every
+        // count (asserted against the single-thread reference).
+        let reference = run_on_db(
+            db.clone(),
+            SchedulePolicy::Incremental,
+            CspmConfig::default().with_threads(1),
+        );
+        for threads in [1usize, 2, 4, 8] {
+            let config = CspmConfig::default().with_threads(threads);
+            let mut final_dl = f64::NAN;
+            let secs = median_secs_batched(
+                reps,
+                || db.clone(),
+                |db| {
+                    let res = run_on_db(db, SchedulePolicy::Incremental, config);
+                    final_dl = res.final_dl;
+                    res
+                },
+            );
+            assert_eq!(
+                final_dl, reference.final_dl,
+                "parallel scoring must be deterministic"
+            );
+            println!(
+                "  merge loop [incremental, t={threads}]: {}",
+                fmt_secs(secs)
+            );
+            records.push(Record {
+                name: format!("{}/merge_loop_incremental_t{threads}", d.name),
                 secs,
             });
         }

@@ -4,7 +4,12 @@
 //! the engine's [`SchedulePolicy::FullRegeneration`] policy — every
 //! iteration regenerates the full candidate list (all leafset pairs
 //! sharing a coreset), picks the pair with the maximum positive gain,
-//! merges it, and repeats until no pair improves compression.
+//! merges it, and repeats until no pair improves compression. Sweeps
+//! are pruned by the Algorithm 2 upper bound and fanned out across the
+//! configured worker threads; past
+//! [`CspmConfig::full_regen_max_pairs`] initial candidate pairs the run
+//! delegates to the incremental policy (the sweeps are O(pairs ×
+//! merges) — see the engine docs).
 
 use cspm_graph::AttributedGraph;
 

@@ -34,8 +34,9 @@ pub enum CoresetMode {
 
 /// CSPM configuration. The defaults reproduce the paper's parameter-free
 /// setting; nothing here tunes *what* is found, only instrumentation and
-/// safety valves.
-#[derive(Debug, Clone, Copy, Default)]
+/// safety valves — thread count and the delegation threshold change how
+/// fast the answer is computed, never which answer.
+#[derive(Debug, Clone, Copy)]
 pub struct CspmConfig {
     /// Gain accounting policy.
     pub gain_policy: GainPolicy,
@@ -46,15 +47,53 @@ pub struct CspmConfig {
     pub max_merges: Option<usize>,
     /// Record per-iteration statistics (gain-update ratio, DL trace).
     pub collect_stats: bool,
+    /// Worker threads for candidate gain scoring (`0` = one per
+    /// available core, capped at [`CspmConfig::MAX_AUTO_THREADS`]).
+    /// Scoring is deterministic at every thread count: results are
+    /// bit-identical to the sequential path.
+    pub threads: usize,
+    /// [`SchedulePolicy::FullRegeneration`](crate::SchedulePolicy)
+    /// delegates the whole run to the incremental policy when the
+    /// initial candidate-pair count exceeds this threshold (full
+    /// regeneration is O(pairs × merges) and becomes impractical above
+    /// ~10⁴ pairs). `None` disables delegation and always honours the
+    /// requested policy.
+    pub full_regen_max_pairs: Option<usize>,
+}
+
+impl Default for CspmConfig {
+    fn default() -> Self {
+        Self {
+            gain_policy: GainPolicy::default(),
+            coreset_mode: CoresetMode::default(),
+            max_merges: None,
+            collect_stats: false,
+            threads: 0,
+            full_regen_max_pairs: Some(Self::DEFAULT_FULL_REGEN_MAX_PAIRS),
+        }
+    }
 }
 
 impl CspmConfig {
+    /// Default delegation threshold for
+    /// [`Self::full_regen_max_pairs`]: the scale at which full
+    /// regeneration's O(pairs × merges) sweeps stop being practical.
+    pub const DEFAULT_FULL_REGEN_MAX_PAIRS: usize = 10_000;
+
+    /// Upper cap on auto-detected scoring threads (`threads == 0`).
+    pub const MAX_AUTO_THREADS: usize = 8;
+
     /// Paper-default configuration with statistics collection enabled.
     pub fn instrumented() -> Self {
         Self {
             collect_stats: true,
             ..Self::default()
         }
+    }
+
+    /// This configuration with an explicit scoring thread count.
+    pub fn with_threads(self, threads: usize) -> Self {
+        Self { threads, ..self }
     }
 }
 
@@ -92,7 +131,19 @@ pub struct RunStats {
     /// Per-iteration records (empty unless `collect_stats`).
     pub iterations: Vec<IterationStat>,
     /// Total pair-gain evaluations across the run (always tracked).
+    /// Counts *attempted* scores; evaluations answered by the
+    /// Algorithm 2 upper bound without an exact computation are also
+    /// tallied in [`Self::pruned_pairs`].
     pub total_gain_evals: u64,
+    /// Candidate pairs dismissed by the Algorithm 2 pruning bound
+    /// before an exact gain evaluation (incremental scoring only; the
+    /// full-regeneration sweep prunes against its running best and is
+    /// not tallied here).
+    pub pruned_pairs: u64,
+    /// Whether a FullRegeneration run delegated to the incremental
+    /// policy because the initial candidate-pair count exceeded
+    /// [`CspmConfig::full_regen_max_pairs`].
+    pub delegated: bool,
     /// Wall-clock seconds spent mining (excluding graph construction).
     pub elapsed_secs: f64,
 }
@@ -108,7 +159,13 @@ mod tests {
         assert_eq!(c.coreset_mode, CoresetMode::SingleValue);
         assert!(c.max_merges.is_none());
         assert!(!c.collect_stats);
+        assert_eq!(c.threads, 0, "auto thread detection by default");
+        assert_eq!(
+            c.full_regen_max_pairs,
+            Some(CspmConfig::DEFAULT_FULL_REGEN_MAX_PAIRS)
+        );
         assert!(CspmConfig::instrumented().collect_stats);
+        assert_eq!(c.with_threads(4).threads, 4);
     }
 
     #[test]

@@ -1,5 +1,10 @@
 //! Mining dynamic attributed graphs (future-work item (2) of the
 //! paper): a-stars over a sequence of snapshots.
+//!
+//! Dynamic mining dispatches through the same unified engine, so the
+//! scheduling knobs of [`CspmConfig`] — scoring `threads` and the
+//! full-regeneration delegation threshold — apply here unchanged, and
+//! results stay bit-identical at any thread count.
 
 use cspm_graph::dynamic::SnapshotSequence;
 use cspm_graph::VertexId;
@@ -109,6 +114,26 @@ mod tests {
         assert_eq!(t.snapshot_support, 3);
         assert_eq!(t.occurrences.len(), model.astars()[idx].positions.len());
         assert!(dyn_res.persistent(3).count() >= 1);
+    }
+
+    #[test]
+    fn dynamic_mining_is_deterministic_across_thread_counts() {
+        let seq = recurring_sequence();
+        let base = mine_dynamic(
+            &seq,
+            Variant::Partial,
+            CspmConfig::default().with_threads(1),
+        );
+        for threads in [2, 8] {
+            let run = mine_dynamic(
+                &seq,
+                Variant::Partial,
+                CspmConfig::default().with_threads(threads),
+            );
+            assert_eq!(base.result.final_dl, run.result.final_dl);
+            assert_eq!(base.result.merges, run.result.merges);
+            assert_eq!(base.temporal.len(), run.temporal.len());
+        }
     }
 
     #[test]

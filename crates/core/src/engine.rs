@@ -26,10 +26,38 @@
 //!   `rdict[x] ∩ rdict[y]`, and pairs of partly-merged parents are
 //!   re-scored — exactly the three update rules of Algorithm 4.
 //!
-//! The merge arithmetic itself lives in [`InvertedDb`](crate::InvertedDb)
+//! The merge arithmetic itself lives in [`InvertedDb`]
 //! over the flat [`PostingStore`](crate::positions::PostingStore) arena,
 //! so the hot path of §IV-E runs over contiguous `(offset, len)` slices
 //! rather than per-row heap allocations.
+//!
+//! # Parallel candidate scoring
+//!
+//! Between merges the database is immutable, and every candidate score
+//! is a pure function of it — so both policies evaluate their candidate
+//! batches across a `std::thread::scope` worker pool. Workers share the
+//! posting arena read-only through [`GainView`] snapshots (no row is
+//! cloned); batches are split into contiguous chunks and results are
+//! reduced deterministically — per-pair gains are reassembled in input
+//! order, and the full-regeneration sweep reduces per-chunk winners by
+//! best gain with ties broken towards the smallest candidate pair id.
+//! Mining output is therefore **bit-identical at every thread count**.
+//!
+//! Two knobs on [`CspmConfig`] control scheduling (both tune *speed*,
+//! never *what* is mined):
+//!
+//! * [`CspmConfig::threads`] — scoring worker count (`0` = one per
+//!   available core, capped at [`CspmConfig::MAX_AUTO_THREADS`]);
+//! * [`CspmConfig::full_regen_max_pairs`] — Algorithm 1's sweeps are
+//!   O(pairs × merges); past this many initial candidate pairs a
+//!   FullRegeneration run delegates to the incremental policy (recorded
+//!   in [`RunStats::delegated`](crate::RunStats)). `None` disables
+//!   delegation.
+//!
+//! Candidate generation additionally applies the pruning bound of the
+//! paper's Algorithm 2 ([`GainView::pair_gain_upper_bound`]): pairs
+//! whose cheap length-only upper bound is non-positive are dismissed
+//! before their exact gain — and before they ever enter the queue.
 
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, HashMap};
@@ -39,7 +67,7 @@ use cspm_graph::AttributedGraph;
 use cspm_mdl::OrdF64;
 
 use crate::config::{CspmConfig, IterationStat, RunStats};
-use crate::inverted::{InvertedDb, LeafsetId};
+use crate::inverted::{GainView, InvertedDb, LeafsetId};
 use crate::model::MinedModel;
 
 /// Gains this close to zero are treated as "no improvement".
@@ -203,6 +231,7 @@ pub fn run_on_db(mut db: InvertedDb, policy: SchedulePolicy, config: CspmConfig)
     let started = Instant::now();
     let initial_dl = db.total_dl();
     let mut stats = RunStats::default();
+    let threads = resolve_threads(config.threads);
     let mut merges = 0usize;
     let mut scheduler = CandidateScheduler::default();
     let cap_reached = |merges: usize| config.max_merges.is_some_and(|m| merges >= m);
@@ -211,33 +240,38 @@ pub fn run_on_db(mut db: InvertedDb, policy: SchedulePolicy, config: CspmConfig)
     // pool. FullRegeneration only ever needs the front of the queue —
     // everything else is regenerated after the next merge anyway. A
     // pre-satisfied merge cap skips the sweep entirely.
+    let mut policy = policy;
     if !cap_reached(merges) {
-        stats.total_gain_evals += seed(&db, &mut scheduler, policy);
+        let pairs = db.sharing_pairs();
+        // Scale escape hatch: full regeneration re-sweeps every pair
+        // after every merge, O(pairs × merges). Past the configured
+        // threshold the whole run delegates to the incremental policy,
+        // which maintains the same greedy queue at a fraction of the
+        // evaluations.
+        if policy == SchedulePolicy::FullRegeneration
+            && config
+                .full_regen_max_pairs
+                .is_some_and(|cap| pairs.len() > cap)
+        {
+            policy = SchedulePolicy::Incremental;
+            stats.delegated = true;
+        }
+        stats.total_gain_evals += seed_pairs(
+            &db,
+            &pairs,
+            &mut scheduler,
+            policy,
+            threads,
+            &mut stats.pruned_pairs,
+        );
     }
 
-    while !scheduler.is_empty() {
-        if cap_reached(merges) {
-            break;
-        }
-        let Some((x, y, stored)) = scheduler.pop_max() else {
+    while !cap_reached(merges) {
+        let Some((x, y, gain, mut gain_evals)) =
+            pop_next_positive(&mut scheduler, &db, policy, &mut stats)
+        else {
             break;
         };
-        let mut gain_evals = 0u64;
-        let gain = match policy {
-            // Freshly regenerated this round: the stored gain is exact.
-            SchedulePolicy::FullRegeneration => stored,
-            // Lazy revalidation: untouched pairs can go stale when a
-            // shared coreset's total frequency changes; recompute once
-            // before committing (preserves the monotone-DL invariant).
-            SchedulePolicy::Incremental => {
-                gain_evals += 1;
-                db.pair_gain(x, y)
-            }
-        };
-        if gain <= GAIN_EPS {
-            stats.total_gain_evals += gain_evals;
-            continue;
-        }
         // Capture relations before any removal (the new pattern inherits
         // candidate partners from both parents).
         let (rel_x, rel_y) = match policy {
@@ -254,7 +288,15 @@ pub fn run_on_db(mut db: InvertedDb, policy: SchedulePolicy, config: CspmConfig)
                 // Skip the regeneration sweep after the final permitted
                 // merge — the loop is about to break on the cap anyway.
                 if !cap_reached(merges) {
-                    gain_evals += seed(&db, &mut scheduler, policy);
+                    let pairs = db.sharing_pairs();
+                    gain_evals += seed_pairs(
+                        &db,
+                        &pairs,
+                        &mut scheduler,
+                        policy,
+                        threads,
+                        &mut stats.pruned_pairs,
+                    );
                 }
             }
             SchedulePolicy::Incremental => {
@@ -266,32 +308,43 @@ pub fn run_on_db(mut db: InvertedDb, policy: SchedulePolicy, config: CspmConfig)
                 if outcome.y_removed {
                     scheduler.remove_leafset(y);
                 }
-                // (2) Add pairs with the new leafset: rdict[x] ∩ rdict[y].
+                // Algorithm 4's remaining update rules form one batch of
+                // independent read-only scores against the post-merge
+                // database, evaluated across the worker pool and applied
+                // in sequential order (bit-identical to the serial path):
+                // (2) pairs of the new leafset with rdict[x] ∩ rdict[y],
+                // (3) re-scores of pairs involving a partly merged
+                // parent (frequencies only shrink; gains may flip
+                // negative). The two groups never overlap: group (2)
+                // partners exclude both parents, so neither group edits
+                // the other's rdict entries and the update set can be
+                // snapshotted up front.
+                let mut updates: Vec<(LeafsetId, LeafsetId)> = Vec::new();
                 for &rel in rel_x.intersection(&rel_y) {
                     if rel == n || !db.is_live(rel) || !db.is_live(n) {
                         continue;
                     }
-                    gain_evals += 1;
-                    let gain = db.pair_gain(rel, n);
-                    if gain > GAIN_EPS {
-                        scheduler.upsert(rel, n, gain);
-                    }
+                    updates.push((rel, n));
                 }
-                // (3) Update influenced pairs: partners of partly merged
-                // parents (frequencies only shrink; gains may flip
-                // negative).
+                let fresh_pairs = updates.len();
                 for (parent, removed) in [(x, outcome.x_removed), (y, outcome.y_removed)] {
                     if removed {
                         continue;
                     }
                     for rel in scheduler.related(parent) {
-                        gain_evals += 1;
-                        let gain = db.pair_gain(parent, rel);
-                        if gain > GAIN_EPS {
-                            scheduler.upsert(parent, rel, gain);
-                        } else {
-                            scheduler.remove_pair(parent, rel);
-                        }
+                        updates.push((parent, rel));
+                    }
+                }
+                gain_evals += updates.len() as u64;
+                let (gains, pruned) = score_pairs(&db, &updates, threads);
+                stats.pruned_pairs += pruned;
+                for (i, (&(a, b), &gain)) in updates.iter().zip(&gains).enumerate() {
+                    if gain > GAIN_EPS {
+                        scheduler.upsert(a, b, gain);
+                    } else if i >= fresh_pairs {
+                        // Rule (3) drops influenced pairs that went
+                        // non-positive; rule (2) pairs were never stored.
+                        scheduler.remove_pair(a, b);
                     }
                 }
             }
@@ -321,22 +374,72 @@ pub fn run_on_db(mut db: InvertedDb, policy: SchedulePolicy, config: CspmConfig)
     }
 }
 
-/// (Re)fills the scheduler from the database's sharing pairs. Returns
-/// the number of gain evaluations spent. Under `FullRegeneration` only
-/// the best pair is retained (Algorithm 2 reduced on the fly); under
+/// Pops scheduler entries until one whose validated gain is positive,
+/// returning it together with the revalidation evals spent on the
+/// accepted entry (evals spent on discarded stale entries are charged
+/// to `stats.total_gain_evals` directly, as before).
+///
+/// `FullRegeneration` trusts stored gains — its queue is regenerated
+/// from scratch after every merge, so entries are exact by
+/// construction. `Incremental` lazily revalidates every pop: untouched
+/// pairs go stale when a shared coreset's total frequency changes, and
+/// a stale entry whose true gain flipped non-positive is dropped here —
+/// it is never applied, which is what keeps the total DL monotone.
+fn pop_next_positive(
+    scheduler: &mut CandidateScheduler,
+    db: &InvertedDb,
+    policy: SchedulePolicy,
+    stats: &mut RunStats,
+) -> Option<(LeafsetId, LeafsetId, f64, u64)> {
+    while let Some((x, y, stored)) = scheduler.pop_max() {
+        let (gain, evals) = match policy {
+            SchedulePolicy::FullRegeneration => (stored, 0),
+            SchedulePolicy::Incremental => (db.pair_gain(x, y), 1),
+        };
+        if gain > GAIN_EPS {
+            return Some((x, y, gain, evals));
+        }
+        stats.total_gain_evals += evals;
+    }
+    None
+}
+
+/// Resolves [`CspmConfig::threads`]: `0` means one worker per available
+/// core, capped at [`CspmConfig::MAX_AUTO_THREADS`].
+fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .clamp(1, CspmConfig::MAX_AUTO_THREADS)
+    }
+}
+
+/// Fills the scheduler from the given sharing pairs. Returns the number
+/// of gain evaluations charged. Under `FullRegeneration` only the best
+/// pair is retained (Algorithm 2 reduced on the fly); under
 /// `Incremental` every positive pair is stored.
-fn seed(db: &InvertedDb, scheduler: &mut CandidateScheduler, policy: SchedulePolicy) -> u64 {
-    let pairs = db.sharing_pairs();
+fn seed_pairs(
+    db: &InvertedDb,
+    pairs: &[(LeafsetId, LeafsetId)],
+    scheduler: &mut CandidateScheduler,
+    policy: SchedulePolicy,
+    threads: usize,
+    pruned: &mut u64,
+) -> u64 {
     let evals = pairs.len() as u64;
     match policy {
         SchedulePolicy::FullRegeneration => {
-            if let Some((x, y, gain)) = best_pair(db, &pairs) {
+            if let Some((x, y, gain)) = best_pair(db, pairs, threads) {
                 scheduler.upsert(x, y, gain);
             }
         }
         SchedulePolicy::Incremental => {
-            for (x, y) in pairs {
-                let gain = db.pair_gain(x, y);
+            let (gains, p) = score_pairs(db, pairs, threads);
+            *pruned += p;
+            for (&(x, y), &gain) in pairs.iter().zip(&gains) {
                 if gain > GAIN_EPS {
                     scheduler.upsert(x, y, gain);
                 }
@@ -344,6 +447,69 @@ fn seed(db: &InvertedDb, scheduler: &mut CandidateScheduler, policy: SchedulePol
         }
     }
     evals
+}
+
+/// Batches below this size are scored inline — spawning workers costs
+/// more than the evaluation itself.
+const PARALLEL_SCORE_THRESHOLD: usize = 64;
+
+/// Scores every pair against the current (immutable) database state,
+/// fanning out to scoped worker threads for large batches. Returns the
+/// per-pair gains in input order plus the number of pairs answered by
+/// the Algorithm 2 upper bound without an exact evaluation.
+///
+/// Deterministic at every thread count: each gain is a pure function of
+/// the database, chunks are contiguous, and results are reassembled in
+/// input order — the output vector is bit-identical to the sequential
+/// path regardless of partitioning.
+fn score_pairs(
+    db: &InvertedDb,
+    pairs: &[(LeafsetId, LeafsetId)],
+    threads: usize,
+) -> (Vec<f64>, u64) {
+    if threads <= 1 || pairs.len() < PARALLEL_SCORE_THRESHOLD {
+        return score_chunk(db.gain_view(), pairs);
+    }
+    let chunk = pairs.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = pairs
+            .chunks(chunk)
+            .map(|slice| {
+                let view = db.gain_view();
+                scope.spawn(move || score_chunk(view, slice))
+            })
+            .collect();
+        let mut gains = Vec::with_capacity(pairs.len());
+        let mut pruned = 0u64;
+        for h in handles {
+            let (g, p) = h.join().expect("gain worker must not panic");
+            gains.extend_from_slice(&g);
+            pruned += p;
+        }
+        (gains, pruned)
+    })
+}
+
+/// Sequential scoring of one contiguous chunk through a read-only view.
+/// Pairs dismissed by the pruning bound score as 0 ("no improvement") —
+/// the bound guarantees their true gain is ≤ [`GAIN_EPS`], so the
+/// scheduler state after applying the results is identical either way.
+fn score_chunk(view: GainView<'_>, pairs: &[(LeafsetId, LeafsetId)]) -> (Vec<f64>, u64) {
+    let mut pruned = 0u64;
+    let mut scratch = Vec::new();
+    let gains = pairs
+        .iter()
+        .map(
+            |&(x, y)| match view.gain_pruned(x, y, GAIN_EPS, &mut scratch) {
+                Some(gain) => gain,
+                None => {
+                    pruned += 1;
+                    0.0
+                }
+            },
+        )
+        .collect();
+    (gains, pruned)
 }
 
 /// Candidate sweeps beyond this size are evaluated across threads.
@@ -355,11 +521,12 @@ const PARALLEL_THRESHOLD: usize = 8_192;
 fn best_pair(
     db: &InvertedDb,
     pairs: &[(LeafsetId, LeafsetId)],
+    threads: usize,
 ) -> Option<(LeafsetId, LeafsetId, f64)> {
-    if pairs.len() >= PARALLEL_THRESHOLD {
-        best_pair_parallel(db, pairs)
+    if threads > 1 && pairs.len() >= PARALLEL_THRESHOLD {
+        best_pair_parallel(db, pairs, threads)
     } else {
-        best_pair_sequential(db, pairs)
+        best_pair_sequential(db.gain_view(), pairs)
     }
 }
 
@@ -378,12 +545,17 @@ fn better(
 }
 
 fn best_pair_sequential(
-    db: &InvertedDb,
+    view: GainView<'_>,
     pairs: &[(LeafsetId, LeafsetId)],
 ) -> Option<(LeafsetId, LeafsetId, f64)> {
-    let mut best = None;
+    let mut best: Option<(LeafsetId, LeafsetId, f64)> = None;
+    let mut scratch = Vec::new();
     for &(x, y) in pairs {
-        let gain = db.pair_gain(x, y);
+        // No Algorithm 2 bound here: the sweep retains only its best
+        // pair, which the bound can never prune, and paying it for
+        // every candidate measurably slows the sweep down. Queue-entry
+        // scoring (score_chunk) is where the bound earns its keep.
+        let gain = view.gain_with(x, y, &mut scratch);
         if gain > GAIN_EPS {
             best = better(best, (x, y, gain));
         }
@@ -399,19 +571,16 @@ fn best_pair_sequential(
 fn best_pair_parallel(
     db: &InvertedDb,
     pairs: &[(LeafsetId, LeafsetId)],
+    threads: usize,
 ) -> Option<(LeafsetId, LeafsetId, f64)> {
-    let n_threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .clamp(1, 8);
-    if n_threads == 1 {
-        return best_pair_sequential(db, pairs);
-    }
-    let chunk = pairs.len().div_ceil(n_threads);
+    let chunk = pairs.len().div_ceil(threads);
     let locals = std::thread::scope(|scope| {
         let handles: Vec<_> = pairs
             .chunks(chunk)
-            .map(|slice| scope.spawn(move || best_pair_sequential(db, slice)))
+            .map(|slice| {
+                let view = db.gain_view();
+                scope.spawn(move || best_pair_sequential(view, slice))
+            })
             .collect();
         handles
             .into_iter()
@@ -509,11 +678,188 @@ mod tests {
         let db = InvertedDb::build(&d, CoresetMode::SingleValue, GainPolicy::Total);
         let pairs = db.sharing_pairs();
         assert!(!pairs.is_empty());
-        let seq = best_pair_sequential(&db, &pairs);
-        let par = best_pair_parallel(&db, &pairs);
-        assert_eq!(seq.map(|(x, y, _)| (x, y)), par.map(|(x, y, _)| (x, y)));
-        if let (Some(s), Some(p)) = (seq, par) {
-            assert!((s.2 - p.2).abs() < 1e-12);
+        let seq = best_pair_sequential(db.gain_view(), &pairs);
+        for threads in [2, 4, 8] {
+            let par = best_pair_parallel(&db, &pairs, threads);
+            assert_eq!(seq.map(|(x, y, _)| (x, y)), par.map(|(x, y, _)| (x, y)));
+            if let (Some(s), Some(p)) = (seq, par) {
+                assert!((s.2 - p.2).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// A connected graph with `k` interleaved label families, dense
+    /// enough in distinct leafset pairs to exercise the parallel
+    /// scoring fan-out.
+    fn many_label_graph(n: usize, k: usize) -> cspm_graph::AttributedGraph {
+        let mut b = cspm_graph::GraphBuilder::new();
+        for i in 0..n {
+            b.add_vertex([format!("a{}", i % k), format!("b{}", (i * 7 + 3) % k)]);
+        }
+        for i in 1..n {
+            b.add_edge(i as u32 - 1, i as u32).unwrap();
+        }
+        for i in 0..n {
+            let j = (i * 13 + 5) % n;
+            if i != j {
+                let _ = b.add_edge(i as u32, j as u32);
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn score_pairs_is_identical_at_every_thread_count() {
+        let d = many_label_graph(240, 16);
+        let db = InvertedDb::build(&d, CoresetMode::SingleValue, GainPolicy::Total);
+        let pairs = db.sharing_pairs();
+        assert!(
+            pairs.len() >= PARALLEL_SCORE_THRESHOLD,
+            "need a batch large enough to fan out ({} pairs)",
+            pairs.len()
+        );
+        let (seq, seq_pruned) = score_chunk(db.gain_view(), &pairs);
+        for threads in [1, 2, 4, 8] {
+            let (par, par_pruned) = score_pairs(&db, &pairs, threads);
+            assert_eq!(seq, par, "gains must be bit-identical at {threads} threads");
+            assert_eq!(seq_pruned, par_pruned);
+        }
+    }
+
+    #[test]
+    fn pruned_pairs_truly_have_no_positive_gain() {
+        // The pruning bound may only dismiss pairs whose exact gain is
+        // non-positive; anything else would change the mining path.
+        let d = many_label_graph(240, 16);
+        let db = InvertedDb::build(&d, CoresetMode::SingleValue, GainPolicy::Total);
+        let view = db.gain_view();
+        for &(x, y) in db.sharing_pairs().iter() {
+            if view.pair_gain_upper_bound(x, y) <= GAIN_EPS {
+                assert!(view.pair_gain(x, y) <= GAIN_EPS);
+            }
+        }
+    }
+
+    /// Under Total pricing the Algorithm 2 bound must actually dismiss
+    /// pairs whose union row would cost more ST bits than the data side
+    /// can possibly save. Constructed instance: a tiny-overlap pair
+    /// (`rx` row of length 1, globally rare `ry`) under a small "hub"
+    /// coreset, padded with an off-coreset chain that inflates `ry`'s
+    /// standard code without growing the hub coreset's frequency.
+    #[test]
+    fn pruning_bound_dismisses_uneconomic_pairs() {
+        let mut b = cspm_graph::GraphBuilder::new();
+        let hubs: Vec<u32> = (0..4).map(|_| b.add_vertex(["hub"])).collect();
+        for w in hubs.windows(2) {
+            b.add_edge(w[0], w[1]).unwrap();
+        }
+        let u = b.add_vertex(["rx"]);
+        b.add_edge(u, hubs[0]).unwrap();
+        let v1 = b.add_vertex(["ry"]);
+        let v2 = b.add_vertex(["ry"]);
+        b.add_edge(v1, hubs[0]).unwrap();
+        b.add_edge(v1, hubs[1]).unwrap();
+        b.add_edge(v2, hubs[2]).unwrap();
+        b.add_edge(v2, hubs[3]).unwrap();
+        // Padding chain: boosts every rare value's ST code length while
+        // touching the hub coreset through a single bridge edge.
+        let pads: Vec<u32> = (0..100).map(|_| b.add_vertex(["pad"])).collect();
+        for w in pads.windows(2) {
+            b.add_edge(w[0], w[1]).unwrap();
+        }
+        b.add_edge(pads[0], hubs[3]).unwrap();
+        let g = b.build().unwrap();
+        let db = InvertedDb::build(&g, CoresetMode::SingleValue, GainPolicy::Total);
+        let view = db.gain_view();
+        let rx = g.attrs().get("rx").unwrap();
+        let ry = g.attrs().get("ry").unwrap();
+        let find = |a| {
+            db.live_leafsets()
+                .into_iter()
+                .find(|&l| db.leafset_items(l) == [a])
+                .expect("singleton leafset")
+        };
+        let (lx, ly) = (find(rx), find(ry));
+        let ub = view.pair_gain_upper_bound(lx, ly);
+        assert!(ub <= GAIN_EPS, "bound should dismiss (rx, ry), got {ub}");
+        assert!(view.pair_gain(lx, ly) <= GAIN_EPS, "and the prune is sound");
+    }
+
+    /// A stale queue entry whose gain flipped non-positive must never be
+    /// applied. Incremental revalidates on pop and drops it here;
+    /// FullRegeneration never sees one (its queue is rebuilt from exact
+    /// gains after every merge — `seed_pairs` only stores fresh values).
+    #[test]
+    fn stale_flipped_entry_is_never_popped_as_positive() {
+        let (g, _) = paper_example();
+        let mut db = InvertedDb::build(&g, CoresetMode::SingleValue, GainPolicy::Total);
+        // Stale the pool: merge the globally best pair directly, behind
+        // the scheduler's back.
+        let pairs = db.sharing_pairs();
+        let (bx, by, _) = best_pair_sequential(db.gain_view(), &pairs).expect("a positive pair");
+        db.merge(bx, by);
+        // Poison the queue with entries whose *stored* gain is huge but
+        // whose true post-merge gain is non-positive.
+        let mut scheduler = CandidateScheduler::default();
+        let mut poisoned = 0u64;
+        for (x, y) in db.sharing_pairs() {
+            if db.pair_gain(x, y) <= GAIN_EPS {
+                scheduler.upsert(x, y, 1e6);
+                poisoned += 1;
+            }
+        }
+        assert!(poisoned > 0, "fixture must yield stale candidates");
+        let mut stats = RunStats::default();
+        let popped =
+            pop_next_positive(&mut scheduler, &db, SchedulePolicy::Incremental, &mut stats);
+        assert!(
+            popped.is_none(),
+            "revalidation let a stale entry through: {popped:?}"
+        );
+        assert!(scheduler.is_empty(), "all poisoned entries were drained");
+        assert_eq!(stats.total_gain_evals, poisoned, "one revalidation each");
+    }
+
+    #[test]
+    fn full_regeneration_delegates_past_pair_threshold() {
+        let (g, _) = paper_example();
+        let strict = CspmConfig {
+            full_regen_max_pairs: Some(0), // everything is "too large"
+            ..Default::default()
+        };
+        let res = mine_with_policy(&g, SchedulePolicy::FullRegeneration, strict);
+        assert!(res.stats.delegated, "run must record the delegation");
+        // The delegated run is exactly the incremental run.
+        let inc = mine_with_policy(&g, SchedulePolicy::Incremental, CspmConfig::default());
+        assert_eq!(res.final_dl, inc.final_dl);
+        assert_eq!(res.merges, inc.merges);
+        // Delegation disabled: the policy is honoured no matter the size.
+        let honoured = CspmConfig {
+            full_regen_max_pairs: None,
+            ..Default::default()
+        };
+        let res = mine_with_policy(&g, SchedulePolicy::FullRegeneration, honoured);
+        assert!(!res.stats.delegated);
+    }
+
+    #[test]
+    fn mining_is_bit_identical_across_thread_counts() {
+        let (g, _) = paper_example();
+        for policy in [
+            SchedulePolicy::FullRegeneration,
+            SchedulePolicy::Incremental,
+        ] {
+            let base = mine_with_policy(&g, policy, CspmConfig::default().with_threads(1));
+            for threads in [2, 4, 8] {
+                let run = mine_with_policy(&g, policy, CspmConfig::default().with_threads(threads));
+                assert_eq!(
+                    base.final_dl, run.final_dl,
+                    "{policy:?} @ {threads} threads"
+                );
+                assert_eq!(base.merges, run.merges);
+                assert_eq!(base.stats.total_gain_evals, run.stats.total_gain_evals);
+                assert_eq!(base.stats.pruned_pairs, run.stats.pruned_pairs);
+            }
         }
     }
 

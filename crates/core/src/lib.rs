@@ -12,10 +12,17 @@
 //!
 //! | Layer | Module | Role |
 //! |---|---|---|
-//! | storage | [`positions`] | sorted-slice set algebra + the flat [`PostingStore`] arena backing every row |
-//! | database | [`InvertedDb`] | §IV-B rows over the arena, exact DL bookkeeping, the §IV-E merge |
-//! | engine | [`engine`] | the greedy merge loop + [`CandidateScheduler`]; Algorithm 1 and Algorithm 3 are its two [`SchedulePolicy`] values |
+//! | storage | [`positions`] | sorted-slice set algebra + the flat [`PostingStore`] arena backing every row (+ [`PostingView`], its shared read-only snapshot) |
+//! | database | [`InvertedDb`] | §IV-B rows over the arena, exact DL bookkeeping, the §IV-E merge; [`GainView`] scores candidates read-only (exact gain + the Algorithm 2 pruning bound) |
+//! | engine | [`engine`] | the greedy merge loop + [`CandidateScheduler`]; Algorithm 1 and Algorithm 3 are its two [`SchedulePolicy`] values; candidate batches are scored across a scoped worker pool, deterministically at every thread count |
 //! | façade | [`cspm_basic`] / [`cspm_partial`] / [`mine`] / [`mine_dynamic`] | thin entry points selecting a policy |
+//!
+//! Scheduling is tuned by two [`CspmConfig`] knobs — `threads` (scoring
+//! worker count, `0` = auto) and `full_regen_max_pairs` (candidate-pair
+//! threshold past which [`SchedulePolicy::FullRegeneration`] delegates
+//! to the incremental policy). Both change only how fast the model is
+//! found, never which model; see the [`engine`] docs for the
+//! determinism guarantees.
 //!
 //! # Quick example
 //!
@@ -47,10 +54,10 @@ pub use config::{CoresetMode, CspmConfig, GainPolicy, IterationStat, RunStats};
 pub use decode::{decode_neighborhood, true_neighborhood, verify_lossless, LossError};
 pub use dynamic::{mine_dynamic, DynamicResult, TemporalOccurrences};
 pub use engine::{CandidateScheduler, CspmResult, SchedulePolicy};
-pub use inverted::{Coreset, CoresetId, InvertedDb, LeafsetId, MergeOutcome};
+pub use inverted::{Coreset, CoresetId, GainView, InvertedDb, LeafsetId, MergeOutcome};
 pub use model::{MinedAStar, MinedModel};
 pub use partial::cspm_partial;
-pub use positions::{PostingStore, RowId};
+pub use positions::{PostingStore, PostingView, RowId};
 pub use stats::ModelSummary;
 
 use cspm_graph::AttributedGraph;

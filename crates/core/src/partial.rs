@@ -7,7 +7,11 @@
 //! (2) evaluate the new leafset against `rdict[x] ∩ rdict[y]`, and
 //! (3) re-score pairs involving partly-merged leafsets. Popped pairs are
 //! lazily revalidated before being applied, preserving the monotone-DL
-//! invariant at negligible cost.
+//! invariant at negligible cost. Each merge's update set — rules (2)
+//! and (3) are independent read-only scores — is evaluated across the
+//! worker threads configured by
+//! [`CspmConfig::threads`](crate::CspmConfig), with results applied in
+//! sequential order so mining is bit-identical at any thread count.
 
 use cspm_graph::AttributedGraph;
 

@@ -13,7 +13,11 @@
 //!   ([`RowId`]), with in-place difference/union over spans and a
 //!   free-list for recycled rows. This is the merge loop's backing
 //!   store: rows shrink or die in place and only union rows ever move,
-//!   so steady-state mining allocates nothing per merge.
+//!   so steady-state mining allocates nothing per merge;
+//! * [`PostingView`] — a borrowed, read-only snapshot of the arena.
+//!   Gain scoring only ever *reads* rows, so the engine's parallel
+//!   scorer hands each worker thread a `PostingView` and all workers
+//!   share the one arena without cloning a single row.
 
 use cspm_graph::VertexId;
 
@@ -107,6 +111,44 @@ struct Slot {
     cap: usize,
 }
 
+/// A read-only view of a [`PostingStore`].
+///
+/// Borrowing the arena and the slot table (and nothing mutable), a view
+/// is `Copy + Send + Sync`, so scoped worker threads evaluating merge
+/// gains can all read the same arena concurrently — no row is cloned,
+/// no lock is taken. The borrow checker guarantees the store cannot be
+/// mutated while any view is alive, which is exactly the invariant the
+/// parallel scorer needs: gains are only ever computed between merges,
+/// when the database is immutable.
+#[derive(Debug, Clone, Copy)]
+pub struct PostingView<'a> {
+    data: &'a [VertexId],
+    slots: &'a [Slot],
+}
+
+impl<'a> PostingView<'a> {
+    /// The row's positions.
+    pub fn get(&self, row: RowId) -> &'a [VertexId] {
+        let s = self.slots[row.0 as usize];
+        &self.data[s.offset..s.offset + s.len]
+    }
+
+    /// The row's length (`fL`), without touching the arena.
+    pub fn len(&self, row: RowId) -> usize {
+        self.slots[row.0 as usize].len
+    }
+
+    /// Whether the row is empty.
+    pub fn is_empty(&self, row: RowId) -> bool {
+        self.len(row) == 0
+    }
+
+    /// `|row(a) ∩ row(b)|`.
+    pub fn intersect_count(&self, a: RowId, b: RowId) -> usize {
+        intersect_count(self.get(a), self.get(b))
+    }
+}
+
 /// Arena-backed flat storage for sorted posting lists.
 ///
 /// All rows share one contiguous `data` vector; each row is a
@@ -193,6 +235,14 @@ impl PostingStore {
                 self.slots.push(slot);
                 RowId(self.slots.len() as u32 - 1)
             }
+        }
+    }
+
+    /// A read-only view sharing this store's arena; see [`PostingView`].
+    pub fn view(&self) -> PostingView<'_> {
+        PostingView {
+            data: &self.data,
+            slots: &self.slots,
         }
     }
 
@@ -360,8 +410,19 @@ impl PostingStore {
             }
         }
         for kk in k + 1..self.free_spans.len() {
-            if let Some((offset, cap)) = self.free_spans[kk].pop() {
-                return self.split_span(offset, cap, need);
+            while let Some((offset, cap)) = self.free_spans[kk].pop() {
+                // Clamp: a span must never be handed out shorter than
+                // requested. Classes above `need`'s own guarantee a fit
+                // by the size-class invariant, but a span that was ever
+                // filed one class too high (its cap is < 2^kk) would
+                // silently corrupt the row copied into it. Verify the
+                // fit and re-file offenders into their true class —
+                // strictly below `kk` since cap < need < 2^kk, so this
+                // loop terminates.
+                if cap >= need {
+                    return self.split_span(offset, cap, need);
+                }
+                self.free_span(offset, cap);
             }
         }
         let offset = self.data.len();
@@ -465,6 +526,91 @@ mod tests {
         assert_eq!(n, 6);
         assert_eq!(st.get(r), &[1, 2, 3, 5, 10, 11]);
         assert_eq!(st.live_len(), 6);
+    }
+
+    #[test]
+    fn view_matches_store_reads() {
+        let mut st = PostingStore::new();
+        let a = st.insert(&[1, 3, 5, 7]);
+        let b = st.insert(&[2, 3, 5, 8]);
+        st.difference(a, &[5]);
+        let v = st.view();
+        assert_eq!(v.get(a), st.get(a));
+        assert_eq!(v.get(b), st.get(b));
+        assert_eq!(v.len(a), 3);
+        assert!(!v.is_empty(a));
+        assert_eq!(v.intersect_count(a, b), st.intersect_count(a, b));
+        // Views are Copy and shareable across threads.
+        let copy = v;
+        std::thread::scope(|s| {
+            s.spawn(move || assert_eq!(copy.get(b), &[2, 3, 5, 8]));
+        });
+    }
+
+    /// Regression test for the segregated free-list clamp: a span filed
+    /// one size class too high must never be handed out to a larger
+    /// request (the copy into it would clobber a neighbouring row).
+    /// The clamp re-files the offender instead of returning it.
+    #[test]
+    fn misfiled_free_span_is_never_handed_out_short() {
+        let mut st = PostingStore::new();
+        let guard = st.insert(&[100, 200, 300, 400, 500, 600, 700, 800]);
+        // Plant a 3-cap span at the arena tail, misfiled into class 4
+        // (caps 16..32) — exactly the corruption the clamp defends
+        // against. A 20-element insert falls through to class 4 and,
+        // unclamped, would copy 20 positions into the 3-slot span,
+        // overwriting whatever follows it.
+        let offset = st.data.len();
+        st.data.resize(offset + 3, 0);
+        st.free_spans[4].push((offset, 3));
+        let big: Vec<VertexId> = (0..20).collect();
+        let r = st.insert(&big);
+        assert_eq!(st.get(r), big.as_slice(), "row must round-trip intact");
+        assert_eq!(st.get(guard), &[100, 200, 300, 400, 500, 600, 700, 800]);
+        // The misfiled span was re-filed into its true class (1) and is
+        // still usable for a request it actually fits.
+        let small = st.insert(&[7, 8]);
+        assert_eq!(st.get(small), &[7, 8]);
+        assert_eq!(st.get(r), big.as_slice());
+    }
+
+    /// Repeated difference/union shrink-grow traffic keeps every row
+    /// intact while spans cycle through the free-list (the workload the
+    /// ISSUE names: long dynamic-mining sessions recycling spans).
+    #[test]
+    fn shrink_grow_cycles_preserve_row_integrity() {
+        let mut st = PostingStore::new();
+        let universe: Vec<VertexId> = (0..64).collect();
+        let rows: Vec<RowId> = (0..8)
+            .map(|i| {
+                let pos: Vec<VertexId> = (0..64).filter(|v| (v + i) % 3 != 0).collect();
+                st.insert(&pos)
+            })
+            .collect();
+        let mut expected: Vec<Vec<VertexId>> = rows.iter().map(|&r| st.get(r).to_vec()).collect();
+        for round in 0..40 {
+            for (i, &r) in rows.iter().enumerate() {
+                let cut: Vec<VertexId> = universe
+                    .iter()
+                    .copied()
+                    .filter(|v| (*v as usize + round + i).is_multiple_of(4))
+                    .collect();
+                st.difference(r, &cut);
+                difference_inplace(&mut expected[i], &cut);
+                let grow: Vec<VertexId> = universe
+                    .iter()
+                    .copied()
+                    .filter(|v| (*v as usize + round) % 5 == i % 5)
+                    .collect();
+                st.union_in_place(r, &grow);
+                expected[i] = union(&expected[i], &grow);
+            }
+            for (i, &r) in rows.iter().enumerate() {
+                assert_eq!(st.get(r), expected[i].as_slice(), "row {i} round {round}");
+            }
+        }
+        let live: usize = expected.iter().map(Vec::len).sum();
+        assert_eq!(st.live_len(), live);
     }
 
     #[test]

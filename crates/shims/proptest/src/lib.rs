@@ -159,7 +159,7 @@ pub mod collection {
 
     use super::{Strategy, TestRng};
 
-    /// Element counts accepted by [`vec`]: a fixed size or a size range.
+    /// Element counts accepted by [`vec()`]: a fixed size or a size range.
     pub trait SizeRange {
         /// Draws a concrete length.
         fn pick(&self, rng: &mut TestRng) -> usize;
@@ -189,7 +189,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// The result of [`vec`].
+    /// The result of [`vec()`].
     pub struct VecStrategy<S, Z> {
         element: S,
         size: Z,

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! cspm mine <graph-file> [--basic] [--data-only] [--top K] [--multi-core krimp|slim]
+//!                        [--threads N] [--full-regen-cap N|none]
 //! cspm stats <graph-file>
 //! cspm generate <dblp|dblp-trend|usflight|pokec> <out-file> [--scale tiny|small|paper] [--seed N]
 //! cspm verify <graph-file>
@@ -9,6 +10,13 @@
 //!
 //! Graph files use the plain-text format of `cspm::graph::read_graph`
 //! (`v <id> <attr>…` / `e <u> <v>` lines).
+//!
+//! Scheduling knobs (speed only — mined output is bit-identical at any
+//! setting): `--threads N` sets the candidate-scoring worker count
+//! (default 0 = one per core, capped at 8); `--full-regen-cap N` sets
+//! the candidate-pair count past which `--basic` (full regeneration)
+//! delegates to the incremental policy (`none` disables delegation and
+//! always honours `--basic`; default 10000).
 
 use std::fs::File;
 use std::process::ExitCode;
@@ -32,9 +40,15 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   cspm mine <graph-file> [--basic] [--data-only] [--top K] [--multi-core krimp|slim]
+                         [--threads N] [--full-regen-cap N|none]
   cspm stats <graph-file>
   cspm generate <dblp|dblp-trend|usflight|pokec> <out-file> [--scale tiny|small|paper] [--seed N]
-  cspm verify <graph-file>";
+  cspm verify <graph-file>
+
+mine scheduling knobs (tune speed, never the mined model):
+  --threads N          candidate-scoring worker threads (0 = auto, default)
+  --full-regen-cap N   delegate --basic to the incremental policy past N
+                       initial candidate pairs ('none' disables; default 10000)";
 
 fn run(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
@@ -75,12 +89,34 @@ fn mine(args: &[String]) -> Result<(), String> {
                     _ => return Err("--multi-core needs 'krimp' or 'slim'".into()),
                 };
             }
+            "--threads" => {
+                config.threads = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--threads needs a number (0 = auto)")?;
+            }
+            "--full-regen-cap" => {
+                config.full_regen_max_pairs = match it.next().map(String::as_str) {
+                    Some("none") => None,
+                    Some(s) => Some(
+                        s.parse()
+                            .map_err(|_| "--full-regen-cap needs a number or 'none'")?,
+                    ),
+                    None => return Err("--full-regen-cap needs a number or 'none'".into()),
+                };
+            }
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
     let g = load(path)?;
     // Both variants are scheduling policies of the same engine.
     let result = cspm::core::mine(&g, variant, config);
+    if result.stats.delegated {
+        println!(
+            "note: full regeneration delegated to the incremental policy \
+             (initial candidate pairs exceeded --full-regen-cap)"
+        );
+    }
     println!(
         "mined {} a-stars in {} merges; DL {:.1} -> {:.1} bits (ratio {:.3})",
         result.model.len(),

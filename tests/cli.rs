@@ -74,6 +74,38 @@ fn mine_flags_are_honoured() {
 }
 
 #[test]
+fn scheduling_knobs_change_speed_not_output() {
+    let path = temp_path("threads.graph");
+    let path_str = path.to_str().unwrap();
+    cspm(&["generate", "dblp", path_str, "--scale", "tiny"]);
+
+    // Thread count must not change the mined model: identical stdout.
+    let (ok, one, _) = cspm(&["mine", path_str, "--threads", "1", "--top", "5"]);
+    assert!(ok);
+    let (ok, four, _) = cspm(&["mine", path_str, "--threads", "4", "--top", "5"]);
+    assert!(ok);
+    assert_eq!(one, four, "mined output must be thread-count invariant");
+
+    // A tiny delegation cap reroutes --basic through the incremental
+    // policy and says so.
+    let (ok, out, _) = cspm(&["mine", path_str, "--basic", "--full-regen-cap", "1"]);
+    assert!(ok);
+    assert!(out.contains("delegated"), "delegation note missing: {out}");
+    // 'none' disables delegation.
+    let (ok, out, _) = cspm(&["mine", path_str, "--basic", "--full-regen-cap", "none"]);
+    assert!(ok);
+    assert!(!out.contains("delegated"));
+
+    let (ok, _, stderr) = cspm(&["mine", path_str, "--full-regen-cap", "nope"]);
+    assert!(!ok);
+    assert!(stderr.contains("full-regen-cap"));
+    let (ok, _, stderr) = cspm(&["mine", path_str, "--threads"]);
+    assert!(!ok);
+    assert!(stderr.contains("--threads"));
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
 fn helpful_errors() {
     let (ok, _, stderr) = cspm(&[]);
     assert!(!ok);

@@ -82,6 +82,89 @@ fn engine_policies_reach_identical_dl_on_planted_patterns() {
     assert!(verify_lossless(&g, &partial.db).is_empty());
 }
 
+/// Parallel incremental scoring must be exact, not approximately
+/// deterministic: at threads ∈ {1, 2, 8} both policies produce
+/// bit-identical final description lengths, merge counts, and
+/// evaluation totals on a planted instance large enough to fan out.
+#[test]
+fn mining_is_bit_identical_at_threads_1_2_8() {
+    let (g, _) = planted_astars(
+        &[
+            (&["doctor"], &["flu", "fever"]),
+            (&["airport"], &["delay", "storm"]),
+            (&["server"], &["alarm", "restart"]),
+        ],
+        PlantedConfig {
+            occurrences_per_pattern: 25,
+            background_vertices: 60,
+            background_attrs: 12,
+            noise_labels_per_vertex: 0.5,
+            seed: 11,
+        },
+    );
+    for policy in [GainPolicy::Total, GainPolicy::DataOnly] {
+        for variant in [Variant::Basic, Variant::Partial] {
+            let config = |threads| {
+                CspmConfig {
+                    gain_policy: policy,
+                    ..Default::default()
+                }
+                .with_threads(threads)
+            };
+            let base = mine(&g, variant, config(1));
+            for threads in [2usize, 8] {
+                let run = mine(&g, variant, config(threads));
+                assert_eq!(
+                    base.final_dl, run.final_dl,
+                    "{variant:?}/{policy:?} diverged at {threads} threads"
+                );
+                assert_eq!(base.merges, run.merges);
+                assert_eq!(base.stats.total_gain_evals, run.stats.total_gain_evals);
+                assert_eq!(base.stats.pruned_pairs, run.stats.pruned_pairs);
+            }
+        }
+    }
+}
+
+/// The full-regeneration scale escape hatch: past the candidate-pair
+/// threshold the run delegates to the incremental policy and matches it
+/// exactly; with delegation disabled the policy is honoured.
+#[test]
+fn full_regeneration_delegates_and_matches_incremental() {
+    let (g, _) = planted_astars(
+        &[(&["doctor"], &["flu", "fever"])],
+        PlantedConfig {
+            occurrences_per_pattern: 15,
+            background_vertices: 40,
+            background_attrs: 8,
+            noise_labels_per_vertex: 0.0,
+            seed: 7,
+        },
+    );
+    let delegated = mine(
+        &g,
+        Variant::Basic,
+        CspmConfig {
+            full_regen_max_pairs: Some(1),
+            ..equiv_config()
+        },
+    );
+    assert!(delegated.stats.delegated);
+    let incremental = mine(&g, Variant::Partial, equiv_config());
+    assert_eq!(delegated.final_dl, incremental.final_dl);
+    assert_eq!(delegated.merges, incremental.merges);
+    let honoured = mine(
+        &g,
+        Variant::Basic,
+        CspmConfig {
+            full_regen_max_pairs: None,
+            ..equiv_config()
+        },
+    );
+    assert!(!honoured.stats.delegated);
+    assert!(verify_lossless(&g, &delegated.db).is_empty());
+}
+
 /// Strategy: a sorted, duplicate-free position list.
 fn arb_positions() -> impl Strategy<Value = Vec<u32>> {
     proptest::collection::vec(0u32..300, 0..48).prop_map(|mut v| {
