@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! bench_engine [--tiny|--paper] [--seed N] [--out FILE]
+//!              [--input FILE]… [--format pokec|dblp|usflight|native|auto]
 //! ```
 //!
 //! Measures, per dataset: the posting-store replay (flat arena vs the
@@ -13,6 +14,14 @@
 //! FullRegeneration is recorded on every dataset: past the delegation
 //! threshold (Pokec) it completes by delegating to the incremental
 //! policy instead of being skipped.
+//!
+//! With `--input` (requires the `real-data` feature), the generator
+//! suite is replaced by the given real dataset dumps; the parse phase
+//! is recorded separately from the merge loops as `<name>/parse`
+//! (snapshot caching is disabled so the record times the parser, not
+//! the cache), and `--out` defaults to `BENCH_engine.inputs.json` so a
+//! fixture run never clobbers the committed generator-suite baseline
+//! that `bench_compare` gates on.
 //!
 //! `bench_compare` diffs the emitted JSON against the committed
 //! baseline and gates CI on merge-loop regressions.
@@ -56,35 +65,83 @@ struct Record {
     secs: f64,
 }
 
+/// Parses `--input` dumps into datasets, recording one `<name>/parse`
+/// timing each (snapshots off: the record must time the parser).
+#[cfg(feature = "real-data")]
+fn ingest_inputs(inputs: &[String], format: &str, records: &mut Vec<Record>) -> Vec<Dataset> {
+    use cspm_datasets::ingest::{self, SnapshotPolicy};
+    let format = ingest::Format::from_cli(format).unwrap_or_else(|e| panic!("{e}"));
+    inputs
+        .iter()
+        .map(|p| {
+            let report = ingest::ingest(std::path::Path::new(p), format, SnapshotPolicy::Off)
+                .unwrap_or_else(|e| panic!("cannot ingest {p}: {e}"));
+            println!(
+                "parsed {p} as {} in {}",
+                report.format,
+                fmt_secs(report.parse_secs)
+            );
+            records.push(Record {
+                name: format!("{}/parse", report.dataset.name),
+                secs: report.parse_secs,
+            });
+            report.dataset
+        })
+        .collect()
+}
+
+#[cfg(not(feature = "real-data"))]
+fn ingest_inputs(_inputs: &[String], _format: &str, _records: &mut Vec<Record>) -> Vec<Dataset> {
+    panic!("--input needs real-dataset support: rebuild with --features real-data");
+}
+
 fn main() {
     let mut scale = Scale::Small;
     let mut seed = 2022u64;
-    let mut out_path = "BENCH_engine.json".to_string();
+    let mut out_path: Option<String> = None;
+    let mut inputs: Vec<String> = Vec::new();
+    let mut format = "auto".to_string();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--paper" => scale = Scale::Paper,
             "--tiny" => scale = Scale::Tiny,
             "--seed" => seed = args.next().and_then(|s| s.parse().ok()).expect("--seed N"),
-            "--out" => out_path = args.next().expect("--out FILE"),
+            "--out" => out_path = Some(args.next().expect("--out FILE")),
+            "--input" => inputs.push(args.next().expect("--input FILE")),
+            "--format" => format = args.next().expect("--format NAME"),
             other => panic!("unknown argument '{other}'"),
         }
     }
+    // Fixture runs default to their own output file: BENCH_engine.json
+    // is the committed CI baseline for the *generator* suite, and
+    // silently replacing it would neuter the bench_compare gate.
+    let out_path = out_path.unwrap_or_else(|| {
+        if inputs.is_empty() {
+            "BENCH_engine.json".to_string()
+        } else {
+            "BENCH_engine.inputs.json".to_string()
+        }
+    });
 
-    let datasets: Vec<Dataset> = vec![
-        dblp_like(scale, seed),
-        usflight_like(scale, seed),
-        pokec_like(
-            if scale == Scale::Paper {
-                Scale::Small
-            } else {
-                scale
-            },
-            seed,
-        ),
-    ];
-    let reps = 3;
     let mut records: Vec<Record> = Vec::new();
+    let datasets: Vec<Dataset> = if inputs.is_empty() {
+        vec![
+            dblp_like(scale, seed),
+            usflight_like(scale, seed),
+            pokec_like(
+                if scale == Scale::Paper {
+                    Scale::Small
+                } else {
+                    scale
+                },
+                seed,
+            ),
+        ]
+    } else {
+        ingest_inputs(&inputs, &format, &mut records)
+    };
+    let reps = 3;
 
     for d in &datasets {
         let (n, m, a) = d.statistics();

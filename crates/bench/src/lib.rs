@@ -7,6 +7,23 @@
 //! * `--paper` — run at the paper's Table II scale (slow; Pokec is 1.6M
 //!   vertices). Default is the `Small` scale with identical structure.
 //! * `--seed <u64>` — generator seed (default 2022).
+//!
+//! `bench_engine` additionally accepts `--input <dump>` (with the
+//! `real-data` feature) to benchmark real dataset fixtures, recording
+//! the parse phase separately from the merge loops; `bench_compare`
+//! gates CI on merge-loop regressions against the committed
+//! `BENCH_engine.json`.
+//!
+//! # Example
+//!
+//! ```
+//! use cspm_bench::{fmt_secs, HarnessArgs};
+//!
+//! let args = HarnessArgs::default();
+//! assert_eq!(args.seed, 2022);
+//! assert_eq!(fmt_secs(0.25), "0.250s");
+//! assert_eq!(fmt_secs(150.0), "2.5min");
+//! ```
 
 use cspm_datasets::Scale;
 

@@ -1,0 +1,171 @@
+//! Typed errors for the real-dataset ingestion pipeline.
+//!
+//! Every malformed input — truncated lines, non-UTF-8 bytes, duplicate
+//! vertex declarations, stale or corrupt snapshots — maps to a distinct
+//! variant so callers can recover selectively (the CLI re-parses on any
+//! `Snapshot*` variant but aborts on parse errors, for example). The
+//! parsers never panic on bad input.
+
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+use cspm_graph::GraphError;
+
+use super::snapshot::CSBIN_VERSION;
+
+/// Errors raised while ingesting a real dataset dump or its snapshot.
+#[derive(Debug)]
+pub enum IngestError {
+    /// An underlying I/O failure.
+    Io(io::Error),
+    /// A line is not valid UTF-8 (1-based line number).
+    Utf8 { path: PathBuf, line: usize },
+    /// A malformed record: truncated line, bad id, bad number, …
+    /// (1-based line number).
+    Parse {
+        path: PathBuf,
+        line: usize,
+        message: String,
+    },
+    /// A vertex (user / author / airport) was declared twice.
+    DuplicateVertex {
+        path: PathBuf,
+        line: usize,
+        id: String,
+    },
+    /// The format needs a companion file that does not exist
+    /// (e.g. Pokec profiles next to the relationship dump).
+    MissingSidecar { main: PathBuf, expected: PathBuf },
+    /// The input matches none of the known formats.
+    UnknownFormat { path: PathBuf },
+    /// A `.csbin` file does not start with the `CSBN` magic.
+    SnapshotMagic { path: PathBuf },
+    /// A `.csbin` file was written by an incompatible layout version.
+    SnapshotVersion { path: PathBuf, found: u16 },
+    /// A `.csbin` file no longer matches its source dump (the source
+    /// was edited or replaced since the snapshot was written).
+    SnapshotStale { path: PathBuf },
+    /// A `.csbin` file ends mid-record or carries impossible counts.
+    SnapshotCorrupt {
+        path: PathBuf,
+        message: &'static str,
+    },
+    /// The assembled graph violates an input constraint.
+    Graph(GraphError),
+}
+
+impl IngestError {
+    /// Whether this error came from the snapshot cache rather than the
+    /// source dump — snapshot failures are recoverable by re-parsing.
+    pub fn is_snapshot(&self) -> bool {
+        matches!(
+            self,
+            IngestError::SnapshotMagic { .. }
+                | IngestError::SnapshotVersion { .. }
+                | IngestError::SnapshotStale { .. }
+                | IngestError::SnapshotCorrupt { .. }
+        )
+    }
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::Io(e) => write!(f, "i/o error: {e}"),
+            IngestError::Utf8 { path, line } => {
+                write!(f, "{}:{line}: line is not valid UTF-8", path.display())
+            }
+            IngestError::Parse {
+                path,
+                line,
+                message,
+            } => write!(f, "{}:{line}: {message}", path.display()),
+            IngestError::DuplicateVertex { path, line, id } => {
+                write!(f, "{}:{line}: duplicate vertex id '{id}'", path.display())
+            }
+            IngestError::MissingSidecar { main, expected } => write!(
+                f,
+                "{} needs its companion file {} (not found)",
+                main.display(),
+                expected.display()
+            ),
+            IngestError::UnknownFormat { path } => write!(
+                f,
+                "{}: cannot auto-detect format (expected pokec, dblp, usflight or native)",
+                path.display()
+            ),
+            IngestError::SnapshotMagic { path } => {
+                write!(f, "{}: not a .csbin snapshot (bad magic)", path.display())
+            }
+            IngestError::SnapshotVersion { path, found } => write!(
+                f,
+                "{}: snapshot layout version {found} (this build reads version {CSBIN_VERSION})",
+                path.display()
+            ),
+            IngestError::SnapshotStale { path } => write!(
+                f,
+                "{}: snapshot is stale (source dump changed since it was written)",
+                path.display()
+            ),
+            IngestError::SnapshotCorrupt { path, message } => {
+                write!(f, "{}: corrupt snapshot: {message}", path.display())
+            }
+            IngestError::Graph(e) => write!(f, "graph construction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IngestError::Io(e) => Some(e),
+            IngestError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for IngestError {
+    fn from(e: io::Error) -> Self {
+        IngestError::Io(e)
+    }
+}
+
+impl From<GraphError> for IngestError {
+    fn from(e: GraphError) -> Self {
+        IngestError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_positions() {
+        let e = IngestError::Parse {
+            path: "x.csv".into(),
+            line: 7,
+            message: "truncated row".into(),
+        };
+        assert!(e.to_string().contains("x.csv:7"));
+        let e = IngestError::DuplicateVertex {
+            path: "p.txt".into(),
+            line: 3,
+            id: "42".into(),
+        };
+        assert!(e.to_string().contains("duplicate vertex id '42'"));
+    }
+
+    #[test]
+    fn snapshot_errors_are_recoverable() {
+        assert!(IngestError::SnapshotStale { path: "a".into() }.is_snapshot());
+        assert!(IngestError::SnapshotVersion {
+            path: "a".into(),
+            found: 99
+        }
+        .is_snapshot());
+        assert!(!IngestError::UnknownFormat { path: "a".into() }.is_snapshot());
+    }
+}

@@ -1,0 +1,139 @@
+//! Native plain-text graphs (`v` / `e` records) through the streaming
+//! pipeline.
+//!
+//! [`cspm_graph::read_graph`] already parses this format; this source
+//! exists so `--input file.graph --format auto` works uniformly (one
+//! code path, one snapshot cache). One semantic difference to
+//! `read_graph`: ids pass through the assembler's remap, so vertices
+//! that appear in *no* record (gaps in a sparse id range) are not
+//! materialised. Generated and round-tripped files have no gaps.
+
+use std::fs::File;
+use std::io::BufReader;
+use std::path::{Path, PathBuf};
+
+use super::error::IngestError;
+use super::lines::LineReader;
+use super::{dataset_name, GraphAssembler};
+
+/// Streaming source over a native `v`/`e` graph file.
+pub struct NativeSource {
+    path: PathBuf,
+}
+
+impl NativeSource {
+    /// Opens the file (existence is checked at stream time).
+    pub fn open(path: &Path) -> Result<Self, IngestError> {
+        Ok(Self {
+            path: path.to_path_buf(),
+        })
+    }
+}
+
+impl super::AttributedGraphSource for NativeSource {
+    fn name(&self) -> String {
+        dataset_name("Graph", &self.path)
+    }
+
+    fn category(&self) -> &'static str {
+        super::Format::Native.category()
+    }
+
+    fn files(&self) -> Vec<PathBuf> {
+        vec![self.path.clone()]
+    }
+
+    fn stream_into(&mut self, sink: &mut GraphAssembler) -> Result<(), IngestError> {
+        let mut r = LineReader::new(BufReader::new(File::open(&self.path)?), &self.path);
+        let mut line = String::new();
+        while r.read_line(&mut line)? {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            match parts.next().unwrap() {
+                "v" => {
+                    let Some(id) = parts.next() else {
+                        return Err(r.parse_error("v record without a vertex id"));
+                    };
+                    if id.parse::<u64>().is_err() {
+                        return Err(r.parse_error(format!("vertex id '{id}' is not an integer")));
+                    }
+                    let v = sink.vertex(id);
+                    for value in parts {
+                        sink.label(v, value);
+                    }
+                }
+                "e" => {
+                    let (Some(a), Some(b)) = (parts.next(), parts.next()) else {
+                        return Err(r.parse_error("e record needs two vertex ids"));
+                    };
+                    for id in [a, b] {
+                        if id.parse::<u64>().is_err() {
+                            return Err(
+                                r.parse_error(format!("vertex id '{id}' is not an integer"))
+                            );
+                        }
+                    }
+                    let u = sink.vertex(a);
+                    let v = sink.vertex(b);
+                    sink.edge(u, v);
+                }
+                other => {
+                    return Err(r.parse_error(format!("unknown record tag '{other}'")));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests::temp_dir;
+    use super::super::{AttributedGraphSource as _, GraphAssembler};
+    use super::*;
+    use std::fs;
+
+    fn run(text: &str, case: &str) -> Result<cspm_graph::AttributedGraph, IngestError> {
+        let dir = temp_dir(&format!("native-{case}"));
+        let path = dir.join("g.graph");
+        fs::write(&path, text).unwrap();
+        let mut src = NativeSource::open(&path)?;
+        let mut sink = GraphAssembler::new();
+        src.stream_into(&mut sink)?;
+        Ok(sink.finish())
+    }
+
+    #[test]
+    fn matches_read_graph_on_generated_files() {
+        let d = crate::dblp_like(crate::Scale::Tiny, 8);
+        let dir = temp_dir("native-roundtrip");
+        let path = dir.join("dblp.graph");
+        crate::save_dataset(&d, &path).unwrap();
+        let mut src = NativeSource::open(&path).unwrap();
+        let mut sink = GraphAssembler::new();
+        src.stream_into(&mut sink).unwrap();
+        let g = sink.finish();
+        assert_eq!(g.vertex_count(), d.graph.vertex_count());
+        assert_eq!(g.edge_count(), d.graph.edge_count());
+        assert_eq!(g.attr_count(), d.graph.attr_count());
+    }
+
+    #[test]
+    fn bad_records_are_parse_errors() {
+        assert!(matches!(
+            run("v 0 a\nz 1 2\n", "badtag"),
+            Err(IngestError::Parse { line: 2, .. })
+        ));
+        assert!(matches!(
+            run("e 0\n", "shortedge"),
+            Err(IngestError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            run("v x a\n", "badid"),
+            Err(IngestError::Parse { line: 1, .. })
+        ));
+    }
+}

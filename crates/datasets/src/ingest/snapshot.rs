@@ -1,0 +1,382 @@
+//! Versioned binary snapshot cache (`.csbin`).
+//!
+//! Parsing a multi-gigabyte dump dominates repeat experiment runs, so
+//! the first successful parse is cached next to its source as
+//! `<input>.csbin` and later runs deserialise that instead. The layout
+//! is little-endian throughout and documented in `docs/FORMATS.md`:
+//!
+//! ```text
+//! magic "CSBN" · version u16 · format-tag u8 · reserved u8 · fingerprint u64
+//! name str16 · category str16 · n u32 · m u32 · a u32
+//! a × attr-name str16
+//! n × (label-count u16, count × attr-id u32)
+//! m × (u u32, v u32)
+//! ```
+//!
+//! where `str16` is a u16 byte length followed by UTF-8 bytes. The
+//! fingerprint hashes the byte length and mtime of every source file
+//! (main dump + sidecars); a mismatch means a source changed and the
+//! snapshot must be rebuilt ([`IngestError::SnapshotStale`]). The
+//! format tag records which parser built the graph. Every way a file
+//! can disagree with this layout maps to a typed [`IngestError`] —
+//! never a panic.
+
+use std::fs;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use cspm_graph::{AttrTable, AttributedGraph};
+
+use super::error::IngestError;
+
+/// First four bytes of every snapshot.
+pub const CSBIN_MAGIC: [u8; 4] = *b"CSBN";
+/// Layout version this build reads and writes.
+pub const CSBIN_VERSION: u16 = 1;
+
+/// Snapshot path for a source dump: `<input>.csbin` alongside it.
+pub fn snapshot_path(input: &Path) -> PathBuf {
+    let mut name = input.file_name().unwrap_or_default().to_os_string();
+    name.push(".csbin");
+    input.with_file_name(name)
+}
+
+/// Fingerprint of a dump's source files — the main file **and** its
+/// sidecars (Pokec profiles, USFlight airports), so editing either
+/// invalidates the snapshot. FNV-1a over each file's byte length and
+/// mtime at full filesystem resolution (even a same-length rewrite
+/// within the same second is detected). Cheap — no content read — yet
+/// invalidates on any rewrite: editing a file updates its mtime, and
+/// `git checkout` rewrites it entirely.
+pub fn source_fingerprint(files: &[PathBuf]) -> Result<u64, IngestError> {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |b: u8| {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    };
+    for file in files {
+        let meta = fs::metadata(file)?;
+        let mtime = meta
+            .modified()?
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos())
+            .unwrap_or(0);
+        for b in meta
+            .len()
+            .to_le_bytes()
+            .into_iter()
+            .chain(mtime.to_le_bytes())
+        {
+            mix(b);
+        }
+    }
+    Ok(h)
+}
+
+/// Writes `graph` (with its display metadata) as a `.csbin` snapshot.
+/// `format_tag` records which parser built the graph (see
+/// `Format::tag`), so a later run requesting a different format
+/// doesn't get served this cache. A graph the layout cannot represent
+/// (a count past its field width) is a typed error, never a silently
+/// truncated file; callers keep the parsed graph and simply run
+/// uncached.
+pub fn write_snapshot(
+    path: &Path,
+    fingerprint: u64,
+    format_tag: u8,
+    name: &str,
+    category: &str,
+    graph: &AttributedGraph,
+) -> Result<(), IngestError> {
+    let unrepresentable = |message| IngestError::SnapshotCorrupt {
+        path: path.to_path_buf(),
+        message,
+    };
+    let (n, m, a) = (
+        u32::try_from(graph.vertex_count())
+            .map_err(|_| unrepresentable("more than u32::MAX vertices"))?,
+        u32::try_from(graph.edge_count())
+            .map_err(|_| unrepresentable("more than u32::MAX edges"))?,
+        u32::try_from(graph.attr_count())
+            .map_err(|_| unrepresentable("more than u32::MAX attribute values"))?,
+    );
+    let mut w = BufWriter::new(fs::File::create(path)?);
+    w.write_all(&CSBIN_MAGIC)?;
+    w.write_all(&CSBIN_VERSION.to_le_bytes())?;
+    w.write_all(&[format_tag, 0])?;
+    w.write_all(&fingerprint.to_le_bytes())?;
+    write_str16(&mut w, path, name)?;
+    write_str16(&mut w, path, category)?;
+    w.write_all(&n.to_le_bytes())?;
+    w.write_all(&m.to_le_bytes())?;
+    w.write_all(&a.to_le_bytes())?;
+    for (_, attr_name) in graph.attrs().iter() {
+        write_str16(&mut w, path, attr_name)?;
+    }
+    for v in graph.vertices() {
+        let labels = graph.labels(v);
+        let count = u16::try_from(labels.len())
+            .map_err(|_| unrepresentable("more than u16::MAX labels on one vertex"))?;
+        w.write_all(&count.to_le_bytes())?;
+        for &a in labels {
+            w.write_all(&a.to_le_bytes())?;
+        }
+    }
+    for (u, v) in graph.edges() {
+        w.write_all(&u.to_le_bytes())?;
+        w.write_all(&v.to_le_bytes())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// A successfully loaded snapshot.
+#[derive(Debug)]
+pub struct LoadedSnapshot {
+    /// Which parser built the snapshot (see `Format::tag`).
+    pub format_tag: u8,
+    /// Dataset display name recorded at write time.
+    pub name: String,
+    /// Table II category recorded at write time.
+    pub category: String,
+    /// The reconstructed graph.
+    pub graph: AttributedGraph,
+}
+
+/// Loads a `.csbin` snapshot, verifying magic, layout version and the
+/// source fingerprint. Pass the current [`source_fingerprint`] of the
+/// dump; a mismatch yields [`IngestError::SnapshotStale`].
+pub fn load_snapshot(
+    path: &Path,
+    expected_fingerprint: u64,
+) -> Result<LoadedSnapshot, IngestError> {
+    let bytes = fs::read(path)?;
+    let mut c = Cursor {
+        bytes: &bytes,
+        pos: 0,
+        path,
+    };
+    if c.take(4)? != CSBIN_MAGIC {
+        return Err(IngestError::SnapshotMagic {
+            path: path.to_path_buf(),
+        });
+    }
+    let version = u16::from_le_bytes(c.take(2)?.try_into().unwrap());
+    if version != CSBIN_VERSION {
+        return Err(IngestError::SnapshotVersion {
+            path: path.to_path_buf(),
+            found: version,
+        });
+    }
+    let format_tag = c.take(2)?[0]; // second byte reserved
+    let fingerprint = u64::from_le_bytes(c.take(8)?.try_into().unwrap());
+    if fingerprint != expected_fingerprint {
+        return Err(IngestError::SnapshotStale {
+            path: path.to_path_buf(),
+        });
+    }
+    let name = c.str16()?;
+    let category = c.str16()?;
+    let n = c.u32()? as usize;
+    let m = c.u32()? as usize;
+    let a = c.u32()? as usize;
+    // Counts bound what follows; reject impossible ones before any
+    // allocation sized by them.
+    if (bytes.len() - c.pos) < n * 2 + m * 8 {
+        return Err(c.corrupt("counts exceed file size"));
+    }
+    let mut attrs = AttrTable::new();
+    for _ in 0..a {
+        attrs.intern(&c.str16()?);
+    }
+    if attrs.len() != a {
+        return Err(c.corrupt("duplicate attribute names"));
+    }
+    let mut labels: Vec<Vec<u32>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let k = u16::from_le_bytes(c.take(2)?.try_into().unwrap()) as usize;
+        let mut row = Vec::with_capacity(k);
+        for _ in 0..k {
+            let id = c.u32()?;
+            if id as usize >= a {
+                return Err(c.corrupt("attribute id out of range"));
+            }
+            row.push(id);
+        }
+        labels.push(row);
+    }
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        edges.push((c.u32()?, c.u32()?));
+    }
+    let graph = AttributedGraph::from_edge_list(labels, attrs, edges).map_err(|_| {
+        IngestError::SnapshotCorrupt {
+            path: path.to_path_buf(),
+            message: "edge list references invalid vertices",
+        }
+    })?;
+    Ok(LoadedSnapshot {
+        format_tag,
+        name,
+        category,
+        graph,
+    })
+}
+
+fn write_str16<W: Write>(w: &mut W, path: &Path, s: &str) -> Result<(), IngestError> {
+    let bytes = s.as_bytes();
+    let len = u16::try_from(bytes.len()).map_err(|_| IngestError::SnapshotCorrupt {
+        path: path.to_path_buf(),
+        message: "string longer than 64 KiB",
+    })?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(bytes)?;
+    Ok(())
+}
+
+/// Bounds-checked reader over the snapshot bytes: running past the end
+/// is [`IngestError::SnapshotCorrupt`], not a slice panic.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    path: &'a Path,
+}
+
+impl<'a> Cursor<'a> {
+    fn corrupt(&self, message: &'static str) -> IngestError {
+        IngestError::SnapshotCorrupt {
+            path: self.path.to_path_buf(),
+            message,
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], IngestError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or(())
+            .map_err(|_| self.corrupt("length overflow"))?;
+        if end > self.bytes.len() {
+            return Err(self.corrupt("file ends mid-record"));
+        }
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u32(&mut self) -> Result<u32, IngestError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn str16(&mut self) -> Result<String, IngestError> {
+        let len = u16::from_le_bytes(self.take(2)?.try_into().unwrap()) as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| self.corrupt("string is not UTF-8"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{dblp_like, Scale};
+
+    fn temp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("cspm-snapshot-tests");
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn roundtrip_preserves_graph_and_metadata() {
+        let d = dblp_like(Scale::Tiny, 3);
+        let path = temp("roundtrip.csbin");
+        write_snapshot(&path, 77, 2, d.name, d.category, &d.graph).unwrap();
+        let s = load_snapshot(&path, 77).unwrap();
+        assert_eq!(s.name, d.name);
+        assert_eq!(s.category, d.category);
+        assert_eq!(s.graph, d.graph);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_stale() {
+        let d = dblp_like(Scale::Tiny, 3);
+        let path = temp("stale.csbin");
+        write_snapshot(&path, 1, 2, d.name, d.category, &d.graph).unwrap();
+        assert!(matches!(
+            load_snapshot(&path, 2),
+            Err(IngestError::SnapshotStale { .. })
+        ));
+    }
+
+    #[test]
+    fn version_and_magic_are_checked() {
+        let d = dblp_like(Scale::Tiny, 3);
+        let path = temp("version.csbin");
+        write_snapshot(&path, 1, 2, d.name, d.category, &d.graph).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[4] = 0xEE; // version low byte
+        fs::write(&path, &bytes).unwrap();
+        match load_snapshot(&path, 1) {
+            Err(IngestError::SnapshotVersion { found, .. }) => assert_eq!(found, 0xEE),
+            other => panic!(
+                "expected SnapshotVersion, got {other:?}",
+                other = other.err()
+            ),
+        }
+        bytes[0] = b'X';
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            load_snapshot(&path, 1),
+            Err(IngestError::SnapshotMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_is_a_typed_error_not_a_panic() {
+        let d = dblp_like(Scale::Tiny, 3);
+        let path = temp("truncated.csbin");
+        write_snapshot(&path, 1, 2, d.name, d.category, &d.graph).unwrap();
+        let bytes = fs::read(&path).unwrap();
+        // Chop at several depths: header, attr table, labels, edges.
+        for keep in [3usize, 10, 30, bytes.len() / 2, bytes.len() - 3] {
+            fs::write(&path, &bytes[..keep]).unwrap();
+            let err = load_snapshot(&path, 1).unwrap_err();
+            assert!(
+                err.is_snapshot(),
+                "keep={keep}: expected snapshot error, got {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn unrepresentable_graphs_error_instead_of_truncating() {
+        let d = dblp_like(Scale::Tiny, 3);
+        let path = temp("unrepresentable.csbin");
+        // A dataset name past the str16 width must be rejected, not
+        // silently cut (possibly mid-UTF-8 char).
+        let long_name = "x".repeat(u16::MAX as usize + 1);
+        let err = write_snapshot(&path, 1, 2, &long_name, d.category, &d.graph).unwrap_err();
+        assert!(matches!(err, IngestError::SnapshotCorrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn fingerprint_tracks_subsecond_rewrites() {
+        let dir = temp("fp-source");
+        fs::write(&dir, "same length A").unwrap();
+        let a = source_fingerprint(std::slice::from_ref(&dir)).unwrap();
+        // Same byte length, rewritten immediately: mtime (at full
+        // filesystem resolution) must still distinguish the versions.
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        fs::write(&dir, "same length B").unwrap();
+        let b = source_fingerprint(std::slice::from_ref(&dir)).unwrap();
+        assert_ne!(a, b, "subsecond same-length rewrite went undetected");
+    }
+
+    #[test]
+    fn snapshot_path_appends_extension() {
+        assert_eq!(
+            snapshot_path(Path::new("/data/pokec_small.txt")),
+            PathBuf::from("/data/pokec_small.txt.csbin")
+        );
+    }
+}

@@ -1,4 +1,6 @@
-//! Seeded synthetic dataset generators for the CSPM reproduction.
+//! Benchmark datasets for the CSPM reproduction: seeded synthetic
+//! generators, and (behind the `real-data` feature) streaming loaders
+//! for the paper's real dataset dumps.
 //!
 //! The paper evaluates on DBLP, DBLP-Trend, USFlight and Pokec (Table II)
 //! plus Cora/Citeseer/DBLP for node attribute completion (Table IV). We
@@ -8,6 +10,12 @@
 //! of neighbouring vertices are correlated through planted a-star-style
 //! rules, layered with noise. All generators are deterministic given a
 //! seed (see DESIGN.md §5 for the substitution rationale).
+//!
+//! To mine the *actual* dumps, enable `real-data` and use the `ingest`
+//! module: it streams SNAP-style Pokec, DBLP co-authorship CSV and
+//! USFlight route/attribute tables into the graph builder and caches
+//! the result in a versioned `.csbin` snapshot (`docs/FORMATS.md`
+//! specifies both the inputs and the snapshot layout).
 //!
 //! # Example
 //!
@@ -21,6 +29,8 @@
 mod citation;
 mod completion_nets;
 mod flight;
+#[cfg(feature = "real-data")]
+pub mod ingest;
 mod io;
 mod planted;
 mod social;

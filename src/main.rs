@@ -3,13 +3,18 @@
 //! ```text
 //! cspm mine <graph-file> [--basic] [--data-only] [--top K] [--multi-core krimp|slim]
 //!                        [--threads N] [--full-regen-cap N|none]
+//! cspm mine --input <dump> [--format pokec|dblp|usflight|native|auto] [mine flags…]
 //! cspm stats <graph-file>
 //! cspm generate <dblp|dblp-trend|usflight|pokec> <out-file> [--scale tiny|small|paper] [--seed N]
 //! cspm verify <graph-file>
 //! ```
 //!
 //! Graph files use the plain-text format of `cspm::graph::read_graph`
-//! (`v <id> <attr>…` / `e <u> <v>` lines).
+//! (`v <id> <attr>…` / `e <u> <v>` lines). With the `real-data` feature,
+//! `mine --input` instead ingests a real dataset dump (SNAP-style Pokec,
+//! DBLP co-authorship CSV, USFlight route tables — see docs/FORMATS.md),
+//! caching the parsed graph in a `.csbin` snapshot next to the dump so
+//! repeat runs skip parsing.
 //!
 //! Scheduling knobs (speed only — mined output is bit-identical at any
 //! setting): `--threads N` sets the candidate-scoring worker count
@@ -41,6 +46,7 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   cspm mine <graph-file> [--basic] [--data-only] [--top K] [--multi-core krimp|slim]
                          [--threads N] [--full-regen-cap N|none]
+  cspm mine --input <dump> [--format pokec|dblp|usflight|native|auto] [mine flags...]
   cspm stats <graph-file>
   cspm generate <dblp|dblp-trend|usflight|pokec> <out-file> [--scale tiny|small|paper] [--seed N]
   cspm verify <graph-file>
@@ -48,7 +54,12 @@ const USAGE: &str = "usage:
 mine scheduling knobs (tune speed, never the mined model):
   --threads N          candidate-scoring worker threads (0 = auto, default)
   --full-regen-cap N   delegate --basic to the incremental policy past N
-                       initial candidate pairs ('none' disables; default 10000)";
+                       initial candidate pairs ('none' disables; default 10000)
+
+real datasets (requires a build with --features real-data):
+  --input <dump>       ingest a real dataset dump; parsed graphs are cached
+                       in a versioned <dump>.csbin snapshot (docs/FORMATS.md)
+  --format <name>      pokec|dblp|usflight|native, or auto-detect (default)";
 
 fn run(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
@@ -66,14 +77,86 @@ fn load(path: &str) -> Result<AttributedGraph, String> {
     read_graph(file).map_err(|e| format!("cannot parse {path}: {e}"))
 }
 
+/// Ingests a real dataset dump (`mine --input`), reporting how the
+/// `.csbin` snapshot cache behaved; `tests/cli.rs` asserts these lines.
+#[cfg(feature = "real-data")]
+fn ingest_input(dump: &str, format: &str) -> Result<AttributedGraph, String> {
+    use cspm::datasets::ingest::{self, SnapshotOutcome, SnapshotPolicy};
+
+    let format = ingest::Format::from_cli(format)?;
+    let path = std::path::Path::new(dump);
+    let report = ingest::ingest(path, format, SnapshotPolicy::ReadWrite)
+        .map_err(|e| format!("cannot ingest {dump}: {e}"))?;
+    let (n, m, a) = report.dataset.statistics();
+    let shape = format!("{n} vertices, {m} edges, {a} attribute values");
+    match &report.snapshot {
+        SnapshotOutcome::Loaded { path: snap } => println!(
+            "ingest: loaded snapshot {} ({shape}) in {:.3}s",
+            snap.display(),
+            report.snapshot_load_secs
+        ),
+        SnapshotOutcome::Written { path: snap, invalidated } => {
+            if let Some(reason) = invalidated {
+                println!("ingest: discarded unusable snapshot ({reason})");
+            }
+            println!(
+                "ingest: parsed {dump} as {} ({shape}) in {:.3}s; wrote snapshot {}",
+                report.format,
+                report.parse_secs,
+                snap.display()
+            );
+        }
+        SnapshotOutcome::WriteFailed { path: snap, reason } => println!(
+            "ingest: parsed {dump} as {} ({shape}) in {:.3}s; could not write snapshot {}: {reason}",
+            report.format,
+            report.parse_secs,
+            snap.display()
+        ),
+        SnapshotOutcome::Disabled => {}
+    }
+    if report.self_loops_skipped > 0 {
+        println!(
+            "ingest: skipped {} self-loop record(s)",
+            report.self_loops_skipped
+        );
+    }
+    println!(
+        "dataset: {} [{}]",
+        report.dataset.name, report.dataset.category
+    );
+    Ok(report.dataset.graph)
+}
+
+#[cfg(not(feature = "real-data"))]
+fn ingest_input(_dump: &str, _format: &str) -> Result<AttributedGraph, String> {
+    Err(
+        "this build has no real-dataset support (the real-data feature is off); \
+         rebuild with `cargo build --features real-data`, or fall back to the \
+         synthetic generators: `cspm generate <kind> <file>` then `cspm mine <file>`"
+            .into(),
+    )
+}
+
 fn mine(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("mine needs a graph file")?;
     let mut config = CspmConfig::default();
     let mut variant = Variant::Partial;
     let mut top = 20usize;
-    let mut it = args[1..].iter();
+    let mut graph_file: Option<&String> = None;
+    let mut input: Option<&String> = None;
+    let mut format: Option<String> = None;
+    let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--input" => {
+                input = Some(it.next().ok_or("--input needs a dump path")?);
+            }
+            "--format" => {
+                format = Some(
+                    it.next()
+                        .ok_or("--format needs pokec|dblp|usflight|native|auto")?
+                        .clone(),
+                );
+            }
             "--basic" => variant = Variant::Basic,
             "--data-only" => config.gain_policy = GainPolicy::DataOnly,
             "--top" => {
@@ -105,10 +188,23 @@ fn mine(args: &[String]) -> Result<(), String> {
                     None => return Err("--full-regen-cap needs a number or 'none'".into()),
                 };
             }
+            other if !other.starts_with('-') && graph_file.is_none() => graph_file = Some(a),
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
-    let g = load(path)?;
+    let g = match (graph_file, input) {
+        (Some(_), None) if format.is_some() => {
+            // A format flag on the plain-text path would be silently
+            // ignored — the user almost certainly forgot --input.
+            return Err("--format only applies to --input <dump>".into());
+        }
+        (Some(path), None) => load(path)?,
+        (None, Some(dump)) => ingest_input(dump, format.as_deref().unwrap_or("auto"))?,
+        (Some(_), Some(_)) => {
+            return Err("give either a graph file or --input <dump>, not both".into())
+        }
+        (None, None) => return Err("mine needs a graph file or --input <dump>".into()),
+    };
     // Both variants are scheduling policies of the same engine.
     let result = cspm::core::mine(&g, variant, config);
     if result.stats.delegated {

@@ -105,6 +105,125 @@ fn scheduling_knobs_change_speed_not_output() {
     std::fs::remove_file(path).ok();
 }
 
+/// Copies a fixture (and its sidecars) into a scratch dir so `.csbin`
+/// snapshots land there, not in the repo tree.
+#[cfg(feature = "real-data")]
+fn stage_fixture(case: &str, names: &[&str]) -> std::path::PathBuf {
+    let src = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let dir = std::env::temp_dir().join("cspm-cli-tests").join(case);
+    std::fs::create_dir_all(&dir).unwrap();
+    for name in names {
+        std::fs::copy(src.join(name), dir.join(name)).unwrap();
+    }
+    dir.join(names[0])
+}
+
+#[cfg(feature = "real-data")]
+#[test]
+fn ingest_writes_then_loads_snapshot() {
+    let input = stage_fixture(
+        "snapshot-roundtrip",
+        &["pokec_small.txt", "pokec_small.profiles.txt"],
+    );
+    let snap = input.with_file_name("pokec_small.txt.csbin");
+    std::fs::remove_file(&snap).ok();
+    let input = input.to_str().unwrap();
+
+    // First run parses the dump and writes the snapshot …
+    let (ok, first, _) = cspm(&["mine", "--input", input, "--format", "auto", "--top", "2"]);
+    assert!(ok, "first ingest run failed");
+    assert!(
+        first.contains("as pokec"),
+        "auto-detection note missing: {first}"
+    );
+    assert!(
+        first.contains("wrote snapshot"),
+        "snapshot note missing: {first}"
+    );
+    assert!(snap.exists(), "snapshot file not created");
+
+    // … the second run loads it instead of re-parsing, mining the
+    // identical model.
+    let (ok, second, _) = cspm(&["mine", "--input", input, "--format", "auto", "--top", "2"]);
+    assert!(ok, "second ingest run failed");
+    assert!(
+        second.contains("loaded snapshot"),
+        "snapshot not reused: {second}"
+    );
+    assert!(!second.contains("wrote snapshot"));
+    let mined = |s: &str| {
+        s.lines()
+            .skip_while(|l| !l.starts_with("mined "))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(
+        mined(&first),
+        mined(&second),
+        "snapshot must not change the model"
+    );
+}
+
+#[cfg(feature = "real-data")]
+#[test]
+fn stale_snapshot_is_discarded_and_rebuilt() {
+    let input = stage_fixture(
+        "snapshot-stale",
+        &["pokec_small.txt", "pokec_small.profiles.txt"],
+    );
+    let snap = input.with_file_name("pokec_small.txt.csbin");
+    let input = input.to_str().unwrap();
+    let (ok, _, _) = cspm(&["mine", "--input", input, "--top", "2"]);
+    assert!(ok);
+
+    // Corrupt the layout-version field: the loader must reject it with
+    // a typed error and the CLI must fall back to a fresh parse.
+    let mut bytes = std::fs::read(&snap).unwrap();
+    bytes[4] = 0xEE;
+    std::fs::write(&snap, &bytes).unwrap();
+    let (ok, out, _) = cspm(&["mine", "--input", input, "--top", "2"]);
+    assert!(ok, "stale snapshot must not be fatal");
+    assert!(
+        out.contains("discarded unusable snapshot"),
+        "no discard note: {out}"
+    );
+    assert!(
+        out.contains("snapshot layout version 238"),
+        "reason missing: {out}"
+    );
+    assert!(
+        out.contains("wrote snapshot"),
+        "snapshot not rebuilt: {out}"
+    );
+}
+
+#[cfg(feature = "real-data")]
+#[test]
+fn ingest_flag_errors() {
+    let (ok, _, stderr) = cspm(&["mine", "--input", "/nonexistent/dump.txt"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot ingest"));
+
+    let (ok, _, stderr) = cspm(&["mine", "--input", "x", "--format", "nope"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown format"));
+
+    let (ok, _, stderr) = cspm(&["mine", "some.graph", "--input", "dump.txt"]);
+    assert!(!ok);
+    assert!(stderr.contains("not both"));
+}
+
+#[cfg(not(feature = "real-data"))]
+#[test]
+fn ingest_without_feature_points_at_generators() {
+    let (ok, _, stderr) = cspm(&["mine", "--input", "dump.txt"]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("real-data") && stderr.contains("generate"),
+        "unhelpful error: {stderr}"
+    );
+}
+
 #[test]
 fn helpful_errors() {
     let (ok, _, stderr) = cspm(&[]);
@@ -122,4 +241,9 @@ fn helpful_errors() {
     let (ok, _, stderr) = cspm(&["frobnicate"]);
     assert!(!ok);
     assert!(stderr.contains("unknown command"));
+
+    // --format without --input would be silently ignored; refuse it.
+    let (ok, _, stderr) = cspm(&["mine", "some.graph", "--format", "dblp"]);
+    assert!(!ok);
+    assert!(stderr.contains("--format only applies to --input"));
 }

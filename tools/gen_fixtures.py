@@ -1,0 +1,194 @@
+#!/usr/bin/env python3
+"""Regenerates the miniature real-format fixtures in tests/fixtures/.
+
+The fixtures are ~1k-vertex cuts shaped like the paper's three real
+datasets (docs/FORMATS.md specifies the formats). Attribute values are
+correlated across edges — communities share regions/venues/traffic
+levels — so mining them yields a compression ratio < 1, which the
+real-data CI leg asserts. Deterministic: fixed seed, stable iteration
+order; re-running this script must be a no-op unless it was edited.
+
+Usage: python3 tools/gen_fixtures.py
+"""
+
+import random
+import os
+
+OUT = os.path.join(os.path.dirname(__file__), "..", "tests", "fixtures")
+
+REGIONS = [
+    "bratislavsky kraj, bratislava",
+    "zilinsky kraj, zilina",
+    "kosicky kraj, kosice",
+    "presovsky kraj, presov",
+    "nitriansky kraj, nitra",
+    "trnavsky kraj, trnava",
+    "banskobystricky kraj, banska bystrica",
+    "trenciansky kraj, trencin",
+]
+
+VENUE_COMMUNITIES = [
+    ["ICDE", "VLDB", "SIGMOD", "EDBT", "PODS"],
+    ["NeurIPS", "ICML", "KDD", "ICDM", "ECML"],
+    ["SIGCOMM", "INFOCOM", "NSDI", "IMC"],
+    ["STOC", "FOCS", "SODA", "ICALP"],
+]
+
+SURNAMES = [
+    "Liu", "Zhou", "Fournier-Viger", "Yang", "Pan", "Nouioua", "Smith",
+    "Garcia", "Kim", "Novak", "Muller", "Rossi", "Tanaka", "Kowalski",
+]
+
+STATES = [
+    "AL AK AZ AR CA CO CT DE FL GA HI ID IL IN IA KS KY LA ME MD MA MI MN"
+    " MS MO MT NE NV NH NJ NM NY NC ND OH OK OR PA RI SC SD TN TX UT VT VA"
+    " WA WV WI WY"
+][0].split()
+
+AIRLINES = ["AA", "DL", "UA", "WN", "B6"]
+
+
+def pokec(rng):
+    n = 1000
+    # Region communities: region index = community. Some regions skew
+    # young, some old, so region/age/gender co-occur across friendships.
+    lines = []
+    region_of = {}
+    for uid in range(1, n + 1):
+        region_i = (uid * 7) % len(REGIONS)
+        region_of[uid] = region_i
+        young_region = region_i < 4
+        if rng.random() < 0.05:
+            region = "null"
+        else:
+            region = REGIONS[region_i]
+        if rng.random() < 0.05:
+            gender = "null"
+        else:
+            # Slight gender skew per community, like the planted rules.
+            gender = "1" if rng.random() < (0.6 if young_region else 0.4) else "0"
+        if rng.random() < 0.08:
+            age = "0"  # unset marker used by the real dump
+        elif young_region:
+            age = str(rng.randint(16, 29))
+        else:
+            age = str(rng.randint(30, 59))
+        public = "1" if rng.random() < 0.7 else "0"
+        completion = str(rng.randint(0, 100))
+        lines.append(f"{uid}\t{public}\t{completion}\t{gender}\t{region}\t{age}")
+    with open(os.path.join(OUT, "pokec_small.profiles.txt"), "w") as f:
+        f.write("\n".join(lines) + "\n")
+
+    edges = set()
+    for uid in range(1, n + 1):  # ring keeps the graph connected
+        edges.add((uid, uid % n + 1))
+    while len(edges) < 3500:
+        u = rng.randint(1, n)
+        # 85% of friendships stay in the region community.
+        if rng.random() < 0.85:
+            v = rng.randint(1, n)
+            for _ in range(10):
+                if region_of[v] == region_of[u] and v != u:
+                    break
+                v = rng.randint(1, n)
+        else:
+            v = rng.randint(1, n)
+        if u != v:
+            edges.add((u, v))
+    with open(os.path.join(OUT, "pokec_small.txt"), "w") as f:
+        f.write("# SNAP-style Pokec cut: user_id<TAB>friend_id\n")
+        for u, v in sorted(edges):
+            f.write(f"{u}\t{v}\n")
+    return n, len(edges)
+
+
+def dblp(rng):
+    n = 1000
+    community = {a: (a * 3) % len(VENUE_COMMUNITIES) for a in range(1, n + 1)}
+    coauthors = {a: set() for a in range(1, n + 1)}
+    for a in range(1, n):  # chain keeps the graph connected
+        coauthors[a].add(a + 1)
+    pairs = set((a, a + 1) for a in range(1, n))
+    while len(pairs) < 3000:
+        a = rng.randint(1, n)
+        b = rng.randint(1, n)
+        if rng.random() < 0.85:
+            for _ in range(10):
+                if community[b] == community[a] and b != a:
+                    break
+                b = rng.randint(1, n)
+        if a != b and (a, b) not in pairs and (b, a) not in pairs:
+            pairs.add((a, b))
+            coauthors[a].add(b)
+    rows = ["id,name,venues,coauthors"]
+    for a in range(1, n + 1):
+        venues = set()
+        pool = VENUE_COMMUNITIES[community[a]]
+        for _ in range(rng.randint(1, 3)):
+            venues.add(rng.choice(pool))
+        if rng.random() < 0.1:  # cross-area publication noise
+            venues.add(rng.choice(rng.choice(VENUE_COMMUNITIES)))
+        surname = SURNAMES[a % len(SURNAMES)]
+        name = f'"{surname}, A{a:04d}."'  # quoted: embedded comma
+        rows.append(
+            f"{a},{name},{';'.join(sorted(venues))},"
+            f"{';'.join(str(c) for c in sorted(coauthors[a]))}"
+        )
+    with open(os.path.join(OUT, "dblp_small.csv"), "w") as f:
+        f.write("\n".join(rows) + "\n")
+    return n, len(pairs)
+
+
+def usflight(rng):
+    n = 800
+    n_hubs = 40
+    codes = []
+    seen = set()
+    while len(codes) < n:
+        c = "".join(rng.choice("ABCDEFGHIJKLMNOPQRSTUVWXYZ") for _ in range(3))
+        if c not in seen:
+            seen.add(c)
+            codes.append(c)
+    hubs = codes[:n_hubs]
+    state_of = {c: STATES[i % len(STATES)] for i, c in enumerate(codes)}
+    rows = ["code,state,nb_depart,nb_arrive,delay"]
+    for i, c in enumerate(codes):
+        if i < n_hubs:  # hubs: heavy traffic, congested
+            nb_depart, nb_arrive = "+", "+"
+            delay = "+" if rng.random() < 0.8 else "="
+        else:
+            nb_depart = "-" if rng.random() < 0.8 else "="
+            nb_arrive = "-" if rng.random() < 0.8 else "="
+            delay = "-" if rng.random() < 0.7 else "="
+        rows.append(f"{c},{state_of[c]},{nb_depart},{nb_arrive},{delay}")
+    with open(os.path.join(OUT, "usflight_small.airports.csv"), "w") as f:
+        f.write("\n".join(rows) + "\n")
+
+    routes = set()
+    for i in range(n_hubs):  # hub backbone ring + cross links
+        routes.add((hubs[i], hubs[(i + 1) % n_hubs]))
+        routes.add((hubs[i], hubs[(i + 7) % n_hubs]))
+    for c in codes[n_hubs:]:  # every spoke reaches 2-4 hubs
+        for _ in range(rng.randint(2, 4)):
+            routes.add((c, rng.choice(hubs)))
+    while len(routes) < 2500:  # a few point-to-point routes
+        a, b = rng.choice(codes), rng.choice(codes)
+        if a != b:
+            routes.add((a, b))
+    with open(os.path.join(OUT, "usflight_small.csv"), "w") as f:
+        f.write("src,dst,airline\n")
+        for a, b in sorted(routes):
+            f.write(f"{a},{b},{rng.choice(AIRLINES)}\n")
+    return n, len(routes)
+
+
+def main():
+    os.makedirs(OUT, exist_ok=True)
+    rng = random.Random(2022)
+    for name, gen in [("pokec", pokec), ("dblp", dblp), ("usflight", usflight)]:
+        n, m = gen(rng)
+        print(f"{name}: {n} vertices, {m} records")
+
+
+if __name__ == "__main__":
+    main()
