@@ -9,11 +9,16 @@
 //! Measures, per dataset: the posting-store replay (flat arena vs the
 //! seed's HashMap-row baseline over an identical merge schedule — see
 //! `cspm_bench::enginebench`), the engine's two scheduling policies
-//! end to end on a pre-built inverted database, and a thread sweep of
-//! the incremental merge loop (`merge_loop_incremental_t{1,2,4,8}`).
-//! FullRegeneration is recorded on every dataset: past the delegation
-//! threshold (Pokec) it completes by delegating to the incremental
-//! policy instead of being skipped.
+//! end to end on a pre-built inverted database, a thread sweep of
+//! the incremental merge loop (`merge_loop_incremental_t{1,2,4,8}`),
+//! and the session warm-path pair: `merge_loop_session_cold` (cold
+//! `MiningSession::mine` of a delta-grown graph) vs
+//! `merge_loop_session_warm` (`apply_delta` on a session that already
+//! holds the base graph — same merge loop, but database *patching*
+//! replaces database *construction*; results are asserted
+//! bit-identical). FullRegeneration is recorded on every dataset: past
+//! the delegation threshold (Pokec) it completes by delegating to the
+//! incremental policy instead of being skipped.
 //!
 //! With `--input` (requires the `real-data` feature), the generator
 //! suite is replaced by the given real dataset dumps; the parse phase
@@ -32,8 +37,10 @@ use std::time::Instant;
 use cspm_bench::enginebench::MergeWorkload;
 use cspm_bench::fmt_secs;
 use cspm_core::engine::{run_on_db, SchedulePolicy};
-use cspm_core::{CoresetMode, CspmConfig, GainPolicy, InvertedDb};
+use cspm_core::{CoresetMode, CspmConfig, GainPolicy, InvertedDb, Miner};
 use cspm_datasets::{dblp_like, pokec_like, usflight_like, Dataset, Scale};
+use cspm_graph::dynamic::{DeltaVertex, GraphDelta};
+use cspm_graph::AttributedGraph;
 
 /// Median of `reps` timed runs of `f`, in seconds.
 fn median_secs<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
@@ -63,6 +70,33 @@ fn median_secs_batched<I, T>(
 struct Record {
     name: String,
     secs: f64,
+}
+
+/// A deterministic, modest evolution step for the session benchmark:
+/// ~1% new vertices (at least 4), each cloning the labels of an
+/// existing vertex and wired to it, plus a handful of fresh edges
+/// between existing vertices. Small relative to the graph, so the warm
+/// path's patch-instead-of-rebuild advantage is visible.
+fn session_delta(g: &AttributedGraph) -> GraphDelta {
+    let n = g.vertex_count();
+    let mut delta = GraphDelta::new();
+    for i in 0..(n / 100).max(4) {
+        let anchor = ((i * 37 + 11) % n) as u32;
+        let labels: Vec<&str> = g
+            .labels(anchor)
+            .iter()
+            .filter_map(|&a| g.attrs().name(a))
+            .collect();
+        let v = delta.add_vertex(labels);
+        delta.add_edge(v, DeltaVertex::Existing(anchor));
+    }
+    for i in 0..4usize {
+        let (u, w) = (((i * 53 + 7) % n) as u32, ((i * 101 + 29) % n) as u32);
+        if u != w {
+            delta.add_edge(DeltaVertex::Existing(u), DeltaVertex::Existing(w));
+        }
+    }
+    delta
 }
 
 /// Parses `--input` dumps into datasets, recording one `<name>/parse`
@@ -246,6 +280,58 @@ fn main() {
                 secs,
             });
         }
+
+        // Session warm path: the graph grows by one delta, and a
+        // session already holding the base graph re-mines it warm
+        // (patch + merge loop) vs a cold session mine of the grown
+        // graph (build + merge loop). Models must be bit-identical;
+        // the delta is the only thing the warm path re-reads.
+        let delta = session_delta(&d.graph);
+        let applied = delta.apply(&d.graph).expect("synthetic delta applies");
+        let dirty = applied.dirty_centers.len();
+        let grown = applied.graph;
+        let mut cold_dl = f64::NAN;
+        let cold = median_secs_batched(
+            reps,
+            || Miner::new().build(),
+            |mut session| {
+                let res = session.mine(&grown);
+                cold_dl = res.final_dl;
+                res
+            },
+        );
+        let mut warm_template = Miner::new().build();
+        warm_template.load(&d.graph);
+        let mut warm_dl = f64::NAN;
+        let warm = median_secs_batched(
+            reps,
+            || warm_template.clone(),
+            |mut session| {
+                let res = session.apply_delta(&delta).expect("delta applies");
+                warm_dl = res.final_dl;
+                res
+            },
+        );
+        assert_eq!(
+            warm_dl.to_bits(),
+            cold_dl.to_bits(),
+            "warm re-mine must be bit-identical to the cold mine"
+        );
+        println!(
+            "  merge loop [session]: cold {} vs warm {} ({:.2}x, {dirty} dirty of {} vertices)",
+            fmt_secs(cold),
+            fmt_secs(warm),
+            cold / warm,
+            grown.vertex_count()
+        );
+        records.push(Record {
+            name: format!("{}/merge_loop_session_cold", d.name),
+            secs: cold,
+        });
+        records.push(Record {
+            name: format!("{}/merge_loop_session_warm", d.name),
+            secs: warm,
+        });
     }
 
     let mut f = std::fs::File::create(&out_path).expect("can create output file");

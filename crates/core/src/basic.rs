@@ -17,6 +17,12 @@ use crate::config::CspmConfig;
 use crate::engine::{mine_with_policy, CspmResult, SchedulePolicy};
 
 /// Runs CSPM-Basic on an attributed graph.
+///
+/// One-shot wrapper over a [`MiningSession`](crate::MiningSession)
+/// with [`SchedulePolicy::FullRegeneration`]; keep a session of your
+/// own (via [`Miner`](crate::Miner)) when the graph evolves or you
+/// want progress/cancellation hooks — see the
+/// [session docs](crate::session).
 pub fn cspm_basic(g: &AttributedGraph, config: CspmConfig) -> CspmResult {
     mine_with_policy(g, SchedulePolicy::FullRegeneration, config)
 }

@@ -144,6 +144,11 @@ pub struct RunStats {
     /// policy because the initial candidate-pair count exceeded
     /// [`CspmConfig::full_regen_max_pairs`].
     pub delegated: bool,
+    /// Whether the run was cancelled cooperatively by a
+    /// [`ProgressObserver`](crate::ProgressObserver) returning
+    /// `ControlFlow::Break`. A cancelled result is still a valid model
+    /// — just with fewer merges applied.
+    pub cancelled: bool,
     /// Wall-clock seconds spent mining (excluding graph construction).
     pub elapsed_secs: f64,
 }

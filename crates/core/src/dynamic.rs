@@ -5,12 +5,28 @@
 //! scheduling knobs of [`CspmConfig`] — scoring `threads` and the
 //! full-regeneration delegation threshold — apply here unchanged, and
 //! results stay bit-identical at any thread count.
+//!
+//! Since the session redesign, [`mine_dynamic`] is itself a thin
+//! wrapper over a [`MiningSession`](crate::MiningSession): the
+//! sequence is replayed snapshot by snapshot as
+//! [`GraphDelta`](cspm_graph::dynamic::GraphDelta)s
+//! ([`SnapshotSequence::replay`]) and mined once through a session.
+//! The mined model is bit-identical to running CSPM on
+//! [`SnapshotSequence::union_graph`] directly. A one-shot call has no
+//! retained model to keep warm — callers who keep mining as snapshots
+//! *arrive* should hold a session of their own and feed it deltas
+//! ([`MiningSession::apply_delta`](crate::MiningSession::apply_delta));
+//! that is the warm path whose equivalence this function's replay
+//! semantics guarantee.
+
+use std::time::Instant;
 
 use cspm_graph::dynamic::SnapshotSequence;
 use cspm_graph::VertexId;
 
 use crate::config::CspmConfig;
-use crate::engine::{mine_with_policy, CspmResult};
+use crate::engine::CspmResult;
+use crate::session::Miner;
 use crate::Variant;
 
 /// A mined a-star with its occurrences resolved to `(snapshot, vertex)`
@@ -35,12 +51,38 @@ pub struct DynamicResult {
     pub temporal: Vec<TemporalOccurrences>,
 }
 
-/// Mines a snapshot sequence by running CSPM on its disjoint union and
+/// Mines a snapshot sequence by replaying it, snapshot by snapshot, as
+/// graph deltas into one [`MiningSession`](crate::MiningSession), then
 /// mapping the positions of every mined a-star back to
-/// `(snapshot, vertex)` coordinates.
+/// `(snapshot, vertex)` coordinates. Equivalent to (and bit-identical
+/// with) mining [`SnapshotSequence::union_graph`] in one shot.
 pub fn mine_dynamic(seq: &SnapshotSequence, variant: Variant, config: CspmConfig) -> DynamicResult {
-    let union = seq.union_graph();
-    let result = mine_with_policy(&union, variant.policy(), config);
+    let mut session = Miner::from_config(config).variant(variant).build();
+    let result = match seq.replay() {
+        // `session.mine` charges database construction + merge loop to
+        // `elapsed_secs`; building the (empty) union graph happens
+        // before its timer, preserving the RunStats contract that
+        // graph construction is excluded.
+        None => session.mine(&seq.union_graph()),
+        Some((mut graph, deltas)) => {
+            // Assemble the union by replaying each snapshot as a graph
+            // delta — O(snapshot) apiece, linear in the union overall —
+            // *outside* the timer: `RunStats::elapsed_secs` excludes
+            // graph construction, like every other entry point.
+            for delta in &deltas {
+                delta
+                    .apply_in_place(&mut graph)
+                    .expect("replayed snapshot deltas always apply");
+            }
+            let started = Instant::now();
+            session.load_owned(graph);
+            let mut r = session
+                .run_detached()
+                .expect("session was loaded with the replayed union");
+            r.stats.elapsed_secs = started.elapsed().as_secs_f64();
+            r
+        }
+    };
     let temporal = result
         .model
         .astars()
@@ -134,6 +176,36 @@ mod tests {
             assert_eq!(base.result.merges, run.result.merges);
             assert_eq!(base.temporal.len(), run.temporal.len());
         }
+    }
+
+    /// The session-replay implementation must be indistinguishable
+    /// from mining the union graph in one shot — same DL, same merges,
+    /// same evaluation counts.
+    #[test]
+    fn delta_replay_matches_union_graph_mining() {
+        let seq = recurring_sequence();
+        for variant in [Variant::Basic, Variant::Partial] {
+            let replayed = mine_dynamic(&seq, variant, CspmConfig::default());
+            let direct = crate::engine::mine_with_policy(
+                &seq.union_graph(),
+                variant.policy(),
+                CspmConfig::default(),
+            );
+            assert_eq!(replayed.result.final_dl, direct.final_dl);
+            assert_eq!(replayed.result.merges, direct.merges);
+            assert_eq!(
+                replayed.result.stats.total_gain_evals,
+                direct.stats.total_gain_evals
+            );
+        }
+    }
+
+    #[test]
+    fn empty_sequence_mines_empty_model() {
+        let seq = SnapshotSequence::new();
+        let res = mine_dynamic(&seq, Variant::Partial, CspmConfig::default());
+        assert_eq!(res.result.merges, 0);
+        assert!(res.temporal.is_empty());
     }
 
     #[test]

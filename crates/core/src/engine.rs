@@ -61,6 +61,7 @@
 
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, HashMap};
+use std::ops::ControlFlow;
 use std::time::Instant;
 
 use cspm_graph::AttributedGraph;
@@ -72,6 +73,43 @@ use crate::model::MinedModel;
 
 /// Gains this close to zero are treated as "no improvement".
 const GAIN_EPS: f64 = 1e-9;
+
+/// Hook into the merge loop: called after every accepted merge with
+/// that iteration's [`IterationStat`], and in control of whether the
+/// loop keeps going.
+///
+/// Returning [`ControlFlow::Break`] cancels **cooperatively**: the
+/// current merge is already applied (the database never observes a
+/// half-merge), the loop stops before the next one, and the returned
+/// [`CspmResult`] is a valid intermediate model — total DL is monotone,
+/// so it is simply the model after as many merges as were allowed. The
+/// run is marked in [`RunStats::cancelled`].
+///
+/// Observers are how long-lived sessions surface progress (see
+/// [`MiningSession::run_with`](crate::MiningSession::run_with)); the
+/// one-shot entry points run with a no-op observer.
+pub trait ProgressObserver {
+    /// One accepted merge happened; `stat` describes it. Return
+    /// [`ControlFlow::Continue`] to keep mining or
+    /// [`ControlFlow::Break`] to stop after this merge.
+    ///
+    /// The observer is consulted *before* the scheduler upkeep that
+    /// prepares the next iteration (so cancelling skips that work);
+    /// `stat.gain_evals` here counts the evaluations spent reaching
+    /// this merge, while the per-iteration records in
+    /// [`RunStats::iterations`](crate::RunStats) additionally include
+    /// the upkeep evaluations, as they always have.
+    fn on_iteration(&mut self, stat: &IterationStat) -> ControlFlow<()>;
+}
+
+/// The observer the plain entry points use: never cancels.
+pub(crate) struct RunToCompletion;
+
+impl ProgressObserver for RunToCompletion {
+    fn on_iteration(&mut self, _stat: &IterationStat) -> ControlFlow<()> {
+        ControlFlow::Continue(())
+    }
+}
 
 /// How the engine maintains its candidate pool between merges.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -211,6 +249,12 @@ impl CandidateScheduler {
 }
 
 /// Runs the engine on an attributed graph.
+///
+/// A thin wrapper over a one-shot [`MiningSession`](crate::MiningSession)
+/// — equivalent to `Miner::from_config(config).policy(policy).build()`
+/// followed by [`mine`](crate::MiningSession::mine), minus the state
+/// retention. Keep the session instead when you expect graph deltas or
+/// want progress callbacks.
 pub fn mine_with_policy(
     g: &AttributedGraph,
     policy: SchedulePolicy,
@@ -224,10 +268,30 @@ pub fn mine_with_policy(
 }
 
 /// Runs the greedy merge loop on a pre-built inverted database — the
-/// shared core of CSPM-Basic, CSPM-Partial, and dynamic mining. Exposed
-/// so benchmarks can time the merge loop apart from database
-/// construction.
-pub fn run_on_db(mut db: InvertedDb, policy: SchedulePolicy, config: CspmConfig) -> CspmResult {
+/// shared core of CSPM-Basic, CSPM-Partial, dynamic mining and the
+/// session API. Exposed so benchmarks can time the merge loop apart
+/// from database construction.
+///
+/// A thin wrapper over a one-shot session adopting `db` (see
+/// [`MiningSession::adopt_db`](crate::MiningSession::adopt_db)); unlike
+/// a retained session it consumes the database and keeps nothing warm.
+pub fn run_on_db(db: InvertedDb, policy: SchedulePolicy, config: CspmConfig) -> CspmResult {
+    let mut session = crate::session::Miner::from_config(config)
+        .policy(policy)
+        .build();
+    session.adopt_db(db);
+    session.run_detached().expect("session was just loaded")
+}
+
+/// The merge loop itself (Algorithm 1 / Algorithm 3), with a progress
+/// observer threaded through; every public mining entry point funnels
+/// here.
+pub(crate) fn run_loop(
+    mut db: InvertedDb,
+    policy: SchedulePolicy,
+    config: CspmConfig,
+    observer: &mut dyn ProgressObserver,
+) -> CspmResult {
     let started = Instant::now();
     let initial_dl = db.total_dl();
     let mut stats = RunStats::default();
@@ -281,6 +345,30 @@ pub fn run_on_db(mut db: InvertedDb, policy: SchedulePolicy, config: CspmConfig)
         let outcome = db.merge(x, y);
         debug_assert!(outcome.merged_any);
         merges += 1;
+
+        // Consult the observer *before* the post-merge scheduler
+        // upkeep: everything below this point only prepares the next
+        // iteration (a full regeneration sweep, or the Algorithm 4
+        // update batch) and would be wasted work on a cancellation.
+        // The stat therefore counts the evals spent reaching this
+        // merge; the recorded per-iteration stats additionally include
+        // the upkeep evals, as they always have.
+        let live = db.live_leafset_count() as u64;
+        let mut stat = IterationStat {
+            gain_evals,
+            possible_pairs: live * live.saturating_sub(1) / 2,
+            accepted_gain: gain,
+            dl_after: db.total_dl(),
+            data_dl_after: db.data_cost(),
+        };
+        if observer.on_iteration(&stat).is_break() {
+            stats.total_gain_evals += gain_evals;
+            if config.collect_stats {
+                stats.iterations.push(stat);
+            }
+            stats.cancelled = true;
+            break;
+        }
 
         match policy {
             SchedulePolicy::FullRegeneration => {
@@ -352,14 +440,8 @@ pub fn run_on_db(mut db: InvertedDb, policy: SchedulePolicy, config: CspmConfig)
 
         stats.total_gain_evals += gain_evals;
         if config.collect_stats {
-            let live = db.live_leafset_count() as u64;
-            stats.iterations.push(IterationStat {
-                gain_evals,
-                possible_pairs: live * live.saturating_sub(1) / 2,
-                accepted_gain: gain,
-                dl_after: db.total_dl(),
-                data_dl_after: db.data_cost(),
-            });
+            stat.gain_evals = gain_evals;
+            stats.iterations.push(stat);
         }
     }
 

@@ -19,6 +19,11 @@ use crate::config::CspmConfig;
 use crate::engine::{mine_with_policy, CspmResult, SchedulePolicy};
 
 /// Runs CSPM-Partial on an attributed graph.
+///
+/// One-shot wrapper over a [`MiningSession`](crate::MiningSession)
+/// with [`SchedulePolicy::Incremental`]; keep a session of your own
+/// (via [`Miner`](crate::Miner)) when the graph evolves or you want
+/// progress/cancellation hooks — see the [session docs](crate::session).
 pub fn cspm_partial(g: &AttributedGraph, config: CspmConfig) -> CspmResult {
     mine_with_policy(g, SchedulePolicy::Incremental, config)
 }

@@ -382,6 +382,51 @@ impl PostingStore {
         self.live
     }
 
+    /// Fragmentation pressure: `arena_len / live_len` (≥ 1.0). A ratio
+    /// of 1.0 means every arena position belongs to a live row; a long
+    /// shrink/grow session drifts upward as spans accumulate slack and
+    /// free-list fragments. An empty store reports 1.0; an all-dead
+    /// store with arena data still allocated reports `INFINITY` —
+    /// every position is reclaimable, so any pressure threshold fires.
+    pub fn fragmentation(&self) -> f64 {
+        if self.live == 0 {
+            if self.data.is_empty() {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.data.len() as f64 / self.live as f64
+        }
+    }
+
+    /// Compacting rebuild: repacks every live row into a fresh arena
+    /// with exact spans (no slack), in slot order, and empties the span
+    /// free-list. Afterwards `arena_len() == live_len()` and
+    /// [`Self::fragmentation`] is 1.0.
+    ///
+    /// Row ids survive compaction — only `(offset, cap)` change, never
+    /// a row's identity or contents — so handles held by the inverted
+    /// database stay valid. Recycled slot ids remain on the slot
+    /// free-list for reuse by later inserts.
+    pub fn compact(&mut self) {
+        let mut data = Vec::with_capacity(self.live);
+        for slot in &mut self.slots {
+            let offset = data.len();
+            data.extend_from_slice(&self.data[slot.offset..slot.offset + slot.len]);
+            *slot = Slot {
+                offset,
+                len: slot.len,
+                cap: slot.len,
+            };
+        }
+        debug_assert_eq!(data.len(), self.live);
+        self.data = data;
+        for class in &mut self.free_spans {
+            class.clear();
+        }
+    }
+
     fn free_span(&mut self, offset: usize, cap: usize) {
         if cap > 0 {
             self.free_spans[size_class(cap)].push((offset, cap));
@@ -611,6 +656,86 @@ mod tests {
         }
         let live: usize = expected.iter().map(Vec::len).sum();
         assert_eq!(st.live_len(), live);
+    }
+
+    /// White-box compaction test (the ROADMAP "PostingStore compaction"
+    /// item): a shrink-heavy release/re-insert session fragments the
+    /// arena; `compact()` must bring `arena_len` back to exactly
+    /// `live_len` while every surviving row decodes identically and
+    /// stays usable for further mutation.
+    #[test]
+    fn compact_repacks_arena_exactly() {
+        let mut st = PostingStore::new();
+        let universe: Vec<VertexId> = (0..96).collect();
+        let rows: Vec<RowId> = (0..12)
+            .map(|i| {
+                let pos: Vec<VertexId> = universe.iter().copied().filter(|v| v % 12 >= i).collect();
+                st.insert(&pos)
+            })
+            .collect();
+        // Shrink-heavy traffic: carve most positions out of every row,
+        // release a third of them, grow a few back — classic long-
+        // session fragmentation (slack + free spans pile up).
+        for (i, &r) in rows.iter().enumerate() {
+            let cut: Vec<VertexId> = universe
+                .iter()
+                .copied()
+                .filter(|&v| !(v as usize + i).is_multiple_of(3))
+                .collect();
+            st.difference(r, &cut);
+            if i % 3 == 0 {
+                st.release(r);
+            } else if i % 3 == 1 {
+                st.union_in_place(r, &[200, 201, 202, 203]);
+            }
+        }
+        let survivors: Vec<RowId> = rows
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i % 3 != 0)
+            .map(|(_, &r)| r)
+            .collect();
+        let expected: Vec<Vec<VertexId>> = survivors.iter().map(|&r| st.get(r).to_vec()).collect();
+
+        assert!(
+            st.arena_len() > st.live_len(),
+            "fixture must actually fragment: arena {} vs live {}",
+            st.arena_len(),
+            st.live_len()
+        );
+        assert!(st.fragmentation() > 1.0);
+
+        st.compact();
+        assert_eq!(st.arena_len(), st.live_len(), "compaction must be exact");
+        assert_eq!(st.fragmentation(), 1.0);
+        for (r, want) in survivors.iter().zip(&expected) {
+            assert_eq!(st.get(*r), want.as_slice(), "row must decode identically");
+        }
+        // The store stays fully usable: grow a compacted row (forces a
+        // relocation — spans now have zero slack) and insert a new one.
+        let grown = union(&expected[0], &[500, 501]);
+        st.union_in_place(survivors[0], &[500, 501]);
+        assert_eq!(st.get(survivors[0]), grown.as_slice());
+        let fresh = st.insert(&[1, 2, 3]);
+        assert_eq!(st.get(fresh), &[1, 2, 3]);
+        for (r, want) in survivors.iter().zip(&expected).skip(1) {
+            assert_eq!(st.get(*r), want.as_slice());
+        }
+    }
+
+    #[test]
+    fn fragmentation_of_empty_and_all_dead_stores() {
+        let mut st = PostingStore::new();
+        assert_eq!(st.fragmentation(), 1.0);
+        let r = st.insert(&[1, 2]);
+        assert_eq!(st.fragmentation(), 1.0);
+        st.release(r);
+        // All-dead arena still holding data: maximal pressure, so any
+        // compaction threshold fires and reclaims it.
+        assert_eq!(st.fragmentation(), f64::INFINITY);
+        st.compact();
+        assert_eq!(st.arena_len(), 0);
+        assert_eq!(st.fragmentation(), 1.0);
     }
 
     #[test]

@@ -6,8 +6,21 @@
 //! *disjoint union* — every `(snapshot, vertex)` pair becomes one vertex
 //! of the union graph, so an a-star's frequency counts occurrences
 //! across time, exactly as the windowed alarm pipeline does.
+//!
+//! For long-lived mining sessions the evolution itself is the input:
+//! [`GraphDelta`] describes one additive step (new vertices, new edges,
+//! new labels) and [`GraphDelta::apply`] produces the grown graph plus
+//! the exact set of *dirty centers* — the vertices whose adjacency-list
+//! stars changed, which is all an incremental re-mine has to look at.
+//! [`GraphDelta::from_snapshot`] turns the next snapshot of a sequence
+//! into the delta that appends it disjointly, so replaying a
+//! [`SnapshotSequence`] through deltas reproduces [`union_graph`]
+//! exactly (see [`SnapshotSequence::replay`]).
+//!
+//! [`union_graph`]: SnapshotSequence::union_graph
 
 use crate::attrs::AttrTable;
+use crate::error::GraphError;
 use crate::graph::{AttributedGraph, VertexId};
 
 /// A sequence of attributed-graph snapshots. Snapshots may have
@@ -65,6 +78,23 @@ impl SnapshotSequence {
         None
     }
 
+    /// The sequence as an initial graph plus one additive [`GraphDelta`]
+    /// per later snapshot: applying the deltas in order reproduces
+    /// [`Self::union_graph`] exactly (same vertex ids, same attribute
+    /// interning order). Returns `None` for an empty sequence.
+    ///
+    /// This is the incremental-session view of a snapshot sequence:
+    /// instead of re-mining the whole union after every snapshot, feed
+    /// each delta to a long-lived miner.
+    pub fn replay(&self) -> Option<(AttributedGraph, Vec<GraphDelta>)> {
+        let first = self.snapshots.first()?.clone();
+        let deltas = self.snapshots[1..]
+            .iter()
+            .map(GraphDelta::from_snapshot)
+            .collect();
+        Some((first, deltas))
+    }
+
     /// Builds the disjoint-union graph with a shared attribute table
     /// (values reconciled by name).
     pub fn union_graph(&self) -> AttributedGraph {
@@ -93,6 +123,253 @@ impl FromIterator<AttributedGraph> for SnapshotSequence {
         Self {
             snapshots: iter.into_iter().collect(),
         }
+    }
+}
+
+/// Reference to a vertex from within a [`GraphDelta`]: either a vertex
+/// the base graph already has, or the `i`-th vertex this delta adds
+/// (as returned by [`GraphDelta::add_vertex`]). Resolved to a concrete
+/// [`VertexId`] when the delta is applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaVertex {
+    /// A vertex of the base graph.
+    Existing(VertexId),
+    /// The `i`-th vertex added by this delta.
+    Added(u32),
+}
+
+/// One additive evolution step of an attributed graph: new vertices,
+/// new undirected edges, and new attribute values on existing vertices.
+///
+/// Deltas are *additive only* — the paper's dynamic application grows
+/// snapshots, it never retracts them — which is what lets an
+/// incremental miner patch its retained inverted database instead of
+/// rebuilding it: positions are only ever inserted, never removed.
+///
+/// Attribute values are carried **by name** and reconciled against the
+/// base graph's interner at [`Self::apply`] time, exactly like
+/// [`SnapshotSequence::union_graph`] reconciles snapshots, so the same
+/// delta can be applied to differently-interned bases.
+#[derive(Debug, Clone, Default)]
+pub struct GraphDelta {
+    /// Attribute values to intern up front, in order, before any
+    /// vertex or label is processed — pins interning order (and keeps
+    /// vertex-unused values) so a replayed graph's attribute table can
+    /// match a reference construction id for id.
+    declared: Vec<String>,
+    /// New vertices, each with its attribute-value names.
+    vertices: Vec<Vec<String>>,
+    /// New undirected edges over existing and/or added vertices.
+    edges: Vec<(DeltaVertex, DeltaVertex)>,
+    /// Attribute values added to existing vertices.
+    labels: Vec<(VertexId, String)>,
+}
+
+/// Result of [`GraphDelta::apply`]: the grown graph plus the dirty set.
+#[derive(Debug, Clone)]
+pub struct AppliedDelta {
+    /// The base graph with the delta applied.
+    pub graph: AttributedGraph,
+    /// Sorted, deduplicated ids of every vertex whose *star* changed —
+    /// it is new, gained an edge, gained a label, or has a neighbour
+    /// that gained a label. Rows of the inverted database can only have
+    /// changed at these centers; everything else is untouched.
+    pub dirty_centers: Vec<VertexId>,
+}
+
+impl GraphDelta {
+    /// An empty delta.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the delta changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.declared.is_empty()
+            && self.vertices.is_empty()
+            && self.edges.is_empty()
+            && self.labels.is_empty()
+    }
+
+    /// Number of vertices this delta adds.
+    pub fn added_vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Adds a new vertex carrying the given attribute values; returns
+    /// the handle to connect it with [`Self::add_edge`].
+    pub fn add_vertex<I, S>(&mut self, values: I) -> DeltaVertex
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let idx = self.vertices.len() as u32;
+        self.vertices
+            .push(values.into_iter().map(|s| s.as_ref().to_string()).collect());
+        DeltaVertex::Added(idx)
+    }
+
+    /// Adds the undirected edge `{a, b}`. Duplicates of existing edges
+    /// are no-ops at apply time; self-loops are rejected there.
+    pub fn add_edge(&mut self, a: DeltaVertex, b: DeltaVertex) {
+        self.edges.push((a, b));
+    }
+
+    /// Attaches attribute value `value` to base-graph vertex `v`.
+    pub fn add_label(&mut self, v: VertexId, value: impl AsRef<str>) {
+        self.labels.push((v, value.as_ref().to_string()));
+    }
+
+    /// Pre-interns `value` at apply time, before any vertex or label of
+    /// this delta: fixes the value's position in the grown graph's
+    /// attribute table without attaching it to a vertex. Rarely needed
+    /// directly — [`Self::from_snapshot`] uses it to reproduce the
+    /// snapshot's interning order exactly, unused values included.
+    pub fn declare_value(&mut self, value: impl AsRef<str>) {
+        self.declared.push(value.as_ref().to_string());
+    }
+
+    /// The delta that appends `snapshot` as a disjoint component — the
+    /// evolution step between consecutive prefixes of a
+    /// [`SnapshotSequence`]'s union graph. The snapshot's attribute
+    /// values are declared in its own id order (exactly how
+    /// [`SnapshotSequence::union_graph`] reconciles tables), so a
+    /// replayed union matches the direct union id for id even when a
+    /// snapshot's table order differs from vertex-traversal order or
+    /// carries vertex-unused values.
+    pub fn from_snapshot(snapshot: &AttributedGraph) -> Self {
+        let mut delta = Self::new();
+        for (_, name) in snapshot.attrs().iter() {
+            delta.declare_value(name);
+        }
+        let handles: Vec<DeltaVertex> = snapshot
+            .vertices()
+            .map(|v| {
+                delta.add_vertex(
+                    snapshot
+                        .labels(v)
+                        .iter()
+                        .map(|&a| snapshot.attrs().name(a).expect("interned attribute")),
+                )
+            })
+            .collect();
+        for (u, v) in snapshot.edges() {
+            delta.add_edge(handles[u as usize], handles[v as usize]);
+        }
+        delta
+    }
+
+    /// Resolves a [`DeltaVertex`] against a base of `base_n` vertices.
+    fn resolve(&self, base_n: VertexId, dv: DeltaVertex) -> Result<VertexId, GraphError> {
+        match dv {
+            DeltaVertex::Existing(v) if v < base_n => Ok(v),
+            DeltaVertex::Existing(v) => Err(GraphError::UnknownVertex(v)),
+            DeltaVertex::Added(i) if (i as usize) < self.vertices.len() => Ok(base_n + i),
+            DeltaVertex::Added(i) => Err(GraphError::UnknownVertex(base_n + i)),
+        }
+    }
+
+    /// Checks every reference the delta makes against a base of
+    /// `base_n` vertices, without touching anything — so in-place
+    /// application can fail *before* the first mutation and leave the
+    /// graph intact.
+    fn validate(&self, base_n: VertexId) -> Result<(), GraphError> {
+        for &(v, _) in &self.labels {
+            if v >= base_n {
+                return Err(GraphError::UnknownVertex(v));
+            }
+        }
+        for &(a, b) in &self.edges {
+            let (u, v) = (self.resolve(base_n, a)?, self.resolve(base_n, b)?);
+            if u == v {
+                return Err(GraphError::SelfLoop(u));
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies the delta to `base`, producing the grown graph and the
+    /// set of dirty centers (see [`AppliedDelta`]). The base graph is
+    /// untouched; attribute names unseen by its interner are appended
+    /// in first-use order, so repeated application is deterministic.
+    ///
+    /// Long-lived holders of a graph (mining sessions, replay loops)
+    /// should prefer [`Self::apply_in_place`], which skips the clone.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::UnknownVertex`] if an edge or label references an
+    /// existing vertex the base does not have (or an added vertex this
+    /// delta never declared), [`GraphError::SelfLoop`] if an edge
+    /// resolves to a self-loop.
+    pub fn apply(&self, base: &AttributedGraph) -> Result<AppliedDelta, GraphError> {
+        let mut graph = base.clone();
+        let dirty_centers = self.apply_in_place(&mut graph)?;
+        Ok(AppliedDelta {
+            graph,
+            dirty_centers,
+        })
+    }
+
+    /// [`Self::apply`] without the clone: mutates `g` directly and
+    /// returns the sorted dirty-center set. All references are
+    /// validated up front, so on error `g` is guaranteed untouched.
+    pub fn apply_in_place(&self, g: &mut AttributedGraph) -> Result<Vec<VertexId>, GraphError> {
+        let base_n = g.vertex_count() as VertexId;
+        self.validate(base_n)?;
+        let mut dirty: Vec<VertexId> = Vec::new();
+
+        // Declared values first: their interning order is part of the
+        // delta's contract (see from_snapshot).
+        for value in &self.declared {
+            g.attrs.intern(value);
+        }
+
+        // New vertices: interned, sorted, deduplicated — the shape
+        // GraphBuilder/from_edge_list produce.
+        for values in &self.vertices {
+            let mut ids: Vec<_> = values.iter().map(|s| g.attrs.intern(s)).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            dirty.push(g.labels.len() as VertexId);
+            g.labels.push(ids);
+            g.adjacency.push(Vec::new());
+        }
+
+        // New labels on existing vertices: the vertex itself re-centres
+        // (it now occurs under a new coreset), and every neighbour sees
+        // a new leaf value.
+        for (v, value) in &self.labels {
+            let a = g.attrs.intern(value);
+            let list = &mut g.labels[*v as usize];
+            if let Err(pos) = list.binary_search(&a) {
+                list.insert(pos, a);
+                dirty.push(*v);
+                dirty.extend_from_slice(&g.adjacency[*v as usize]);
+            }
+        }
+
+        // New edges: both endpoints gain a neighbour (duplicates no-op).
+        for &(a, b) in &self.edges {
+            let (u, v) = (
+                self.resolve(base_n, a).expect("validated above"),
+                self.resolve(base_n, b).expect("validated above"),
+            );
+            if let Err(pos) = g.adjacency[u as usize].binary_search(&v) {
+                g.adjacency[u as usize].insert(pos, v);
+                let pos = g.adjacency[v as usize]
+                    .binary_search(&u)
+                    .expect_err("adjacency lists agree");
+                g.adjacency[v as usize].insert(pos, u);
+                g.edge_count += 1;
+                dirty.push(u);
+                dirty.push(v);
+            }
+        }
+
+        dirty.sort_unstable();
+        dirty.dedup();
+        Ok(dirty)
     }
 }
 
@@ -148,5 +425,166 @@ mod tests {
         assert!(seq.is_empty());
         let u = seq.union_graph();
         assert_eq!(u.vertex_count(), 0);
+        assert!(seq.replay().is_none());
+    }
+
+    #[test]
+    fn delta_grows_graph_and_reports_dirty_centers() {
+        let (g, _) = paper_example();
+        let mut delta = GraphDelta::new();
+        assert!(delta.is_empty());
+        let w = delta.add_vertex(["d", "a"]);
+        delta.add_edge(w, DeltaVertex::Existing(1));
+        delta.add_label(4, "c");
+        assert!(!delta.is_empty());
+        assert_eq!(delta.added_vertex_count(), 1);
+
+        let applied = delta.apply(&g).unwrap();
+        let h = &applied.graph;
+        assert_eq!(h.vertex_count(), 6);
+        assert_eq!(h.edge_count(), g.edge_count() + 1);
+        assert!(h.has_edge(5, 1));
+        let d = h.attrs().get("d").unwrap();
+        let c = h.attrs().get("c").unwrap();
+        assert!(h.has_label(5, d));
+        assert!(h.has_label(4, c));
+        // Labels stay sorted and deduplicated.
+        assert!(h.labels(5).windows(2).all(|w| w[0] < w[1]));
+        // Dirty: the new vertex (5), the edge endpoint (1), the
+        // re-labelled vertex (4) and its neighbours (2, 3).
+        assert_eq!(applied.dirty_centers, vec![1, 2, 3, 4, 5]);
+        // The base graph is untouched.
+        assert_eq!(g.vertex_count(), 5);
+        assert!(g.attrs().get("d").is_none());
+    }
+
+    #[test]
+    fn duplicate_edges_and_labels_are_no_ops() {
+        let (g, a) = paper_example();
+        let mut delta = GraphDelta::new();
+        delta.add_edge(DeltaVertex::Existing(0), DeltaVertex::Existing(1)); // exists
+        delta.add_label(0, "a"); // v1 already carries a
+        let applied = delta.apply(&g).unwrap();
+        assert_eq!(applied.graph.edge_count(), g.edge_count());
+        assert!(applied.graph.has_label(0, a.a));
+        assert!(applied.dirty_centers.is_empty(), "nothing actually changed");
+    }
+
+    #[test]
+    fn delta_apply_rejects_bad_references() {
+        let (g, _) = paper_example();
+        let mut delta = GraphDelta::new();
+        delta.add_edge(DeltaVertex::Existing(0), DeltaVertex::Existing(99));
+        assert!(matches!(
+            delta.apply(&g),
+            Err(GraphError::UnknownVertex(99))
+        ));
+
+        let mut delta = GraphDelta::new();
+        delta.add_edge(DeltaVertex::Added(0), DeltaVertex::Existing(0));
+        assert!(matches!(delta.apply(&g), Err(GraphError::UnknownVertex(_))));
+
+        let mut delta = GraphDelta::new();
+        delta.add_edge(DeltaVertex::Existing(2), DeltaVertex::Existing(2));
+        assert!(matches!(delta.apply(&g), Err(GraphError::SelfLoop(2))));
+
+        let mut delta = GraphDelta::new();
+        delta.add_label(99, "x");
+        assert!(matches!(
+            delta.apply(&g),
+            Err(GraphError::UnknownVertex(99))
+        ));
+    }
+
+    /// A rejected delta must leave an in-place target untouched, even
+    /// when its valid parts precede the invalid one — references are
+    /// validated before the first mutation.
+    #[test]
+    fn failed_in_place_apply_leaves_graph_untouched() {
+        let (g, _) = paper_example();
+        let mut h = g.clone();
+        let mut delta = GraphDelta::new();
+        let w = delta.add_vertex(["d"]); // valid vertex…
+        delta.add_edge(w, DeltaVertex::Existing(0)); // …valid edge…
+        delta.add_label(0, "z"); // …valid label…
+        delta.add_edge(DeltaVertex::Existing(1), DeltaVertex::Existing(1)); // …then a self-loop
+        assert!(matches!(
+            delta.apply_in_place(&mut h),
+            Err(GraphError::SelfLoop(1))
+        ));
+        assert_eq!(h, g, "failed apply must not mutate");
+    }
+
+    #[test]
+    fn apply_in_place_matches_apply() {
+        let (g, _) = paper_example();
+        let mut delta = GraphDelta::new();
+        let w = delta.add_vertex(["d", "a"]);
+        delta.add_edge(w, DeltaVertex::Existing(1));
+        delta.add_label(4, "c");
+        let applied = delta.apply(&g).unwrap();
+        let mut h = g.clone();
+        let dirty = delta.apply_in_place(&mut h).unwrap();
+        assert_eq!(h, applied.graph);
+        assert_eq!(dirty, applied.dirty_centers);
+    }
+
+    /// Replaying a sequence delta by delta must reproduce the union
+    /// graph *exactly* — same vertex ids, same attribute interning
+    /// order, same adjacency — which is what lets an incremental
+    /// mining session substitute for re-mining the union.
+    #[test]
+    fn replaying_deltas_reproduces_union_graph() {
+        let (g1, _) = paper_example();
+        let g2 = labelled_path(4, 2);
+        let (g3, _) = paper_example();
+        let seq: SnapshotSequence = [g1, g2, g3].into_iter().collect();
+
+        let (mut current, deltas) = seq.replay().unwrap();
+        assert_eq!(deltas.len(), 2);
+        for delta in &deltas {
+            current = delta.apply(&current).unwrap().graph;
+        }
+        assert_eq!(current, seq.union_graph());
+    }
+
+    /// Regression: a snapshot whose attribute table was hand-interned
+    /// out of vertex-traversal order (and carries a vertex-unused
+    /// value) must still replay to the exact union graph — the delta
+    /// declares the snapshot's values in *its* id order instead of
+    /// discovering them in vertex order.
+    #[test]
+    fn replay_preserves_snapshot_interning_order_and_unused_values() {
+        let (g1, _) = paper_example();
+        // Table order: z=0, y=1, unused=2 — but vertex 0 carries y and
+        // vertex 1 carries z, so first-use order would be y, z.
+        let mut attrs = AttrTable::new();
+        let z = attrs.intern("z");
+        let y = attrs.intern("y");
+        attrs.intern("unused");
+        let g2 =
+            AttributedGraph::from_edge_list(vec![vec![y], vec![z]], attrs, [(0u32, 1u32)]).unwrap();
+        let seq: SnapshotSequence = [g1, g2].into_iter().collect();
+
+        let (mut current, deltas) = seq.replay().unwrap();
+        for delta in &deltas {
+            current = delta.apply(&current).unwrap().graph;
+        }
+        let union = seq.union_graph();
+        assert_eq!(
+            current, union,
+            "replayed attr table must match the union's id for id"
+        );
+        assert_eq!(current.attrs().get("unused"), union.attrs().get("unused"));
+    }
+
+    #[test]
+    fn from_snapshot_marks_whole_component_dirty() {
+        let (base, _) = paper_example();
+        let g2 = labelled_path(4, 2);
+        let delta = GraphDelta::from_snapshot(&g2);
+        let applied = delta.apply(&base).unwrap();
+        // Every appended vertex is dirty; no base vertex is.
+        assert_eq!(applied.dirty_centers, vec![5, 6, 7, 8]);
     }
 }

@@ -1,0 +1,187 @@
+//! Minimal hand-rolled JSON emission for `--json` CLI output.
+//!
+//! The workspace builds offline (no serde); the machine-readable CLI
+//! surface is small and flat, so a tiny push-down writer is all that is
+//! needed. Strings are escaped per RFC 8259; non-finite floats (which
+//! JSON cannot represent) serialise as `null`.
+
+/// Incremental JSON writer. Call the `field_*`/`item_*` methods inside
+/// matching `begin_*`/`end_*` pairs; commas are managed automatically.
+#[derive(Debug, Default)]
+pub struct Json {
+    out: String,
+    /// Per-nesting-level flag: does the next element need a comma?
+    needs_comma: Vec<bool>,
+}
+
+impl Json {
+    /// A writer positioned at the document root.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn pre_value(&mut self) {
+        if let Some(last) = self.needs_comma.last_mut() {
+            if *last {
+                self.out.push(',');
+            }
+            *last = true;
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        self.pre_value();
+        self.out.push('"');
+        escape_into(key, &mut self.out);
+        self.out.push_str("\":");
+    }
+
+    /// Opens the root object (or an anonymous object inside an array).
+    pub fn begin_obj(&mut self) -> &mut Self {
+        self.pre_value();
+        self.out.push('{');
+        self.needs_comma.push(false);
+        self
+    }
+
+    /// Opens `"key": {`.
+    pub fn begin_obj_field(&mut self, key: &str) -> &mut Self {
+        self.key(key);
+        self.out.push('{');
+        self.needs_comma.push(false);
+        self
+    }
+
+    /// Closes the innermost object.
+    pub fn end_obj(&mut self) -> &mut Self {
+        self.needs_comma.pop();
+        self.out.push('}');
+        self
+    }
+
+    /// Opens `"key": [`.
+    pub fn begin_arr_field(&mut self, key: &str) -> &mut Self {
+        self.key(key);
+        self.out.push('[');
+        self.needs_comma.push(false);
+        self
+    }
+
+    /// Closes the innermost array.
+    pub fn end_arr(&mut self) -> &mut Self {
+        self.needs_comma.pop();
+        self.out.push(']');
+        self
+    }
+
+    /// `"key": "value"` with escaping.
+    pub fn field_str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.key(key);
+        self.out.push('"');
+        escape_into(value, &mut self.out);
+        self.out.push('"');
+        self
+    }
+
+    /// `"key": 123`.
+    pub fn field_int(&mut self, key: &str, value: u64) -> &mut Self {
+        self.key(key);
+        self.out.push_str(&value.to_string());
+        self
+    }
+
+    /// `"key": 1.25` (shortest round-trip form; `null` if non-finite).
+    pub fn field_num(&mut self, key: &str, value: f64) -> &mut Self {
+        self.key(key);
+        push_f64(value, &mut self.out);
+        self
+    }
+
+    /// `"key": true|false`.
+    pub fn field_bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.key(key);
+        self.out.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// The finished document.
+    ///
+    /// # Panics
+    /// Panics on unbalanced `begin_*`/`end_*` calls — shipping a
+    /// truncated document to a JSON consumer is strictly worse than a
+    /// loud failure, and this path is cold.
+    pub fn finish(self) -> String {
+        assert!(self.needs_comma.is_empty(), "unbalanced begin/end");
+        self.out
+    }
+}
+
+fn push_f64(value: f64, out: &mut String) {
+    if value.is_finite() {
+        // `{}` prints the shortest representation that round-trips,
+        // which is always valid JSON for finite floats (e.g. "1", not
+        // "1.0" — both are JSON numbers).
+        out.push_str(&format!("{value}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_document_has_correct_commas() {
+        let mut j = Json::new();
+        j.begin_obj();
+        j.field_str("name", "x");
+        j.begin_obj_field("inner");
+        j.field_int("a", 1)
+            .field_num("b", 2.5)
+            .field_bool("c", true);
+        j.end_obj();
+        j.begin_arr_field("items");
+        j.begin_obj().field_int("i", 0).end_obj();
+        j.begin_obj().field_int("i", 1).end_obj();
+        j.end_arr();
+        j.end_obj();
+        assert_eq!(
+            j.finish(),
+            r#"{"name":"x","inner":{"a":1,"b":2.5,"c":true},"items":[{"i":0},{"i":1}]}"#
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut j = Json::new();
+        j.begin_obj();
+        j.field_str("k\"ey", "a\\b\n\tc\u{1}");
+        j.end_obj();
+        assert_eq!(j.finish(), "{\"k\\\"ey\":\"a\\\\b\\n\\tc\\u0001\"}");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut j = Json::new();
+        j.begin_obj();
+        j.field_num("nan", f64::NAN).field_num("inf", f64::INFINITY);
+        j.field_num("int_like", 3.0);
+        j.end_obj();
+        assert_eq!(j.finish(), r#"{"nan":null,"inf":null,"int_like":3}"#);
+    }
+}

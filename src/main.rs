@@ -2,9 +2,9 @@
 //!
 //! ```text
 //! cspm mine <graph-file> [--basic] [--data-only] [--top K] [--multi-core krimp|slim]
-//!                        [--threads N] [--full-regen-cap N|none]
+//!                        [--threads N] [--full-regen-cap N|none] [--json]
 //! cspm mine --input <dump> [--format pokec|dblp|usflight|native|auto] [mine flags…]
-//! cspm stats <graph-file>
+//! cspm stats <graph-file> [--json]
 //! cspm generate <dblp|dblp-trend|usflight|pokec> <out-file> [--scale tiny|small|paper] [--seed N]
 //! cspm verify <graph-file>
 //! ```
@@ -16,6 +16,13 @@
 //! caching the parsed graph in a `.csbin` snapshot next to the dump so
 //! repeat runs skip parsing.
 //!
+//! Mining goes through a [`cspm::core::MiningSession`] (the library's
+//! primary API); the CLI is one-shot, but `--json` exposes the same
+//! machine-readable digest a session embedder would read off a
+//! [`CspmResult`](cspm::core::CspmResult): run statistics, the model
+//! summary, compression ratio, and the top patterns — as a single JSON
+//! document on stdout (progress/ingest chatter moves to stderr).
+//!
 //! Scheduling knobs (speed only — mined output is bit-identical at any
 //! setting): `--threads N` sets the candidate-scoring worker count
 //! (default 0 = one per core, capped at 8); `--full-regen-cap N` sets
@@ -23,12 +30,17 @@
 //! delegates to the incremental policy (`none` disables delegation and
 //! always honours `--basic`; default 10000).
 
+mod jsonfmt;
+
 use std::fs::File;
 use std::process::ExitCode;
 
-use cspm::core::{verify_lossless, CoresetMode, CspmConfig, GainPolicy, ModelSummary, Variant};
+use cspm::core::{
+    verify_lossless, CoresetMode, CspmConfig, CspmResult, GainPolicy, ModelSummary, Variant,
+};
 use cspm::datasets::{dblp_like, dblp_trend_like, pokec_like, save_dataset, usflight_like, Scale};
 use cspm::graph::{metrics, read_graph, AttributedGraph};
+use jsonfmt::Json;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -45,11 +57,16 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   cspm mine <graph-file> [--basic] [--data-only] [--top K] [--multi-core krimp|slim]
-                         [--threads N] [--full-regen-cap N|none]
+                         [--threads N] [--full-regen-cap N|none] [--json]
   cspm mine --input <dump> [--format pokec|dblp|usflight|native|auto] [mine flags...]
-  cspm stats <graph-file>
+  cspm stats <graph-file> [--json]
   cspm generate <dblp|dblp-trend|usflight|pokec> <out-file> [--scale tiny|small|paper] [--seed N]
   cspm verify <graph-file>
+
+machine-readable output:
+  --json               emit one JSON document on stdout (run statistics,
+                       model summary, compression ratio, top patterns);
+                       progress/ingest notes go to stderr
 
 mine scheduling knobs (tune speed, never the mined model):
   --threads N          candidate-scoring worker threads (0 = auto, default)
@@ -79,10 +96,19 @@ fn load(path: &str) -> Result<AttributedGraph, String> {
 
 /// Ingests a real dataset dump (`mine --input`), reporting how the
 /// `.csbin` snapshot cache behaved; `tests/cli.rs` asserts these lines.
+/// Under `--json` the notes move to stderr so stdout stays one JSON
+/// document.
 #[cfg(feature = "real-data")]
-fn ingest_input(dump: &str, format: &str) -> Result<AttributedGraph, String> {
+fn ingest_input(dump: &str, format: &str, json: bool) -> Result<AttributedGraph, String> {
     use cspm::datasets::ingest::{self, SnapshotOutcome, SnapshotPolicy};
 
+    let note = |line: String| {
+        if json {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
+    };
     let format = ingest::Format::from_cli(format)?;
     let path = std::path::Path::new(dump);
     let report = ingest::ingest(path, format, SnapshotPolicy::ReadWrite)
@@ -90,45 +116,45 @@ fn ingest_input(dump: &str, format: &str) -> Result<AttributedGraph, String> {
     let (n, m, a) = report.dataset.statistics();
     let shape = format!("{n} vertices, {m} edges, {a} attribute values");
     match &report.snapshot {
-        SnapshotOutcome::Loaded { path: snap } => println!(
+        SnapshotOutcome::Loaded { path: snap } => note(format!(
             "ingest: loaded snapshot {} ({shape}) in {:.3}s",
             snap.display(),
             report.snapshot_load_secs
-        ),
+        )),
         SnapshotOutcome::Written { path: snap, invalidated } => {
             if let Some(reason) = invalidated {
-                println!("ingest: discarded unusable snapshot ({reason})");
+                note(format!("ingest: discarded unusable snapshot ({reason})"));
             }
-            println!(
+            note(format!(
                 "ingest: parsed {dump} as {} ({shape}) in {:.3}s; wrote snapshot {}",
                 report.format,
                 report.parse_secs,
                 snap.display()
-            );
+            ));
         }
-        SnapshotOutcome::WriteFailed { path: snap, reason } => println!(
+        SnapshotOutcome::WriteFailed { path: snap, reason } => note(format!(
             "ingest: parsed {dump} as {} ({shape}) in {:.3}s; could not write snapshot {}: {reason}",
             report.format,
             report.parse_secs,
             snap.display()
-        ),
+        )),
         SnapshotOutcome::Disabled => {}
     }
     if report.self_loops_skipped > 0 {
-        println!(
+        note(format!(
             "ingest: skipped {} self-loop record(s)",
             report.self_loops_skipped
-        );
+        ));
     }
-    println!(
+    note(format!(
         "dataset: {} [{}]",
         report.dataset.name, report.dataset.category
-    );
+    ));
     Ok(report.dataset.graph)
 }
 
 #[cfg(not(feature = "real-data"))]
-fn ingest_input(_dump: &str, _format: &str) -> Result<AttributedGraph, String> {
+fn ingest_input(_dump: &str, _format: &str, _json: bool) -> Result<AttributedGraph, String> {
     Err(
         "this build has no real-dataset support (the real-data feature is off); \
          rebuild with `cargo build --features real-data`, or fall back to the \
@@ -141,12 +167,14 @@ fn mine(args: &[String]) -> Result<(), String> {
     let mut config = CspmConfig::default();
     let mut variant = Variant::Partial;
     let mut top = 20usize;
+    let mut json = false;
     let mut graph_file: Option<&String> = None;
     let mut input: Option<&String> = None;
     let mut format: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--json" => json = true,
             "--input" => {
                 input = Some(it.next().ok_or("--input needs a dump path")?);
             }
@@ -199,14 +227,22 @@ fn mine(args: &[String]) -> Result<(), String> {
             return Err("--format only applies to --input <dump>".into());
         }
         (Some(path), None) => load(path)?,
-        (None, Some(dump)) => ingest_input(dump, format.as_deref().unwrap_or("auto"))?,
+        (None, Some(dump)) => ingest_input(dump, format.as_deref().unwrap_or("auto"), json)?,
         (Some(_), Some(_)) => {
             return Err("give either a graph file or --input <dump>, not both".into())
         }
         (None, None) => return Err("mine needs a graph file or --input <dump>".into()),
     };
-    // Both variants are scheduling policies of the same engine.
+    // One-shot CLI run: `cspm::core::mine` is the session API's
+    // detached wrapper (build → run, nothing cloned, nothing
+    // retained) — the right shape for a process that exits afterwards.
+    // Both paper variants are scheduling policies of the same session
+    // engine.
     let result = cspm::core::mine(&g, variant, config);
+    if json {
+        println!("{}", mine_json(&g, variant, &result, top));
+        return Ok(());
+    }
     if result.stats.delegated {
         println!(
             "note: full regeneration delegated to the incremental policy \
@@ -227,9 +263,86 @@ fn mine(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// The `mine --json` document: graph shape, `RunStats`, `ModelSummary`
+/// (with the compression ratio), and the top `top` patterns. One JSON
+/// object on a single line; shape asserted by `tests/cli.rs` and
+/// validated end-to-end by the CI `real-data` job.
+fn mine_json(g: &AttributedGraph, variant: Variant, result: &CspmResult, top: usize) -> String {
+    let summary = ModelSummary::new(&result.db, &result.model);
+    let mut j = Json::new();
+    j.begin_obj();
+    j.field_str("command", "mine");
+    j.field_str(
+        "variant",
+        match variant {
+            Variant::Basic => "basic",
+            Variant::Partial => "partial",
+        },
+    );
+    graph_json(&mut j, g);
+    j.begin_obj_field("run")
+        .field_num("initial_dl_bits", result.initial_dl)
+        .field_num("final_dl_bits", result.final_dl)
+        .field_num("compression_ratio", result.compression_ratio())
+        .field_int("merges", result.merges as u64)
+        .field_int("total_gain_evals", result.stats.total_gain_evals)
+        .field_int("pruned_pairs", result.stats.pruned_pairs)
+        .field_bool("delegated", result.stats.delegated)
+        .field_bool("cancelled", result.stats.cancelled)
+        .field_num("elapsed_secs", result.stats.elapsed_secs)
+        .end_obj();
+    j.begin_obj_field("model")
+        .field_int("n_astars", summary.n_astars as u64)
+        .field_int("n_coresets", summary.n_coresets as u64)
+        .field_int("n_leafsets", summary.n_leafsets as u64)
+        .field_num("mean_leafset_size", summary.mean_leafset_size)
+        .field_int("max_leafset_size", summary.max_leafset_size as u64)
+        .field_int("merged_rows", summary.merged_rows as u64)
+        .field_num("data_bits", summary.data_bits)
+        .field_num("model_bits", summary.model_bits)
+        .field_num("total_bits", summary.total_bits())
+        .field_num("conditional_entropy", summary.conditional_entropy)
+        .end_obj();
+    j.begin_arr_field("top_patterns");
+    for m in result.model.astars().iter().take(top) {
+        j.begin_obj()
+            .field_str("astar", &m.astar.display(g.attrs()).to_string())
+            .field_int("frequency", m.frequency)
+            .field_int("coreset_frequency", m.coreset_freq)
+            .field_num("code_len_bits", m.code_len)
+            .end_obj();
+    }
+    j.end_arr();
+    j.end_obj();
+    j.finish()
+}
+
+/// Shared `"graph": {…}` fragment of the JSON documents.
+fn graph_json(j: &mut Json, g: &AttributedGraph) {
+    j.begin_obj_field("graph")
+        .field_int("vertices", g.vertex_count() as u64)
+        .field_int("edges", g.edge_count() as u64)
+        .field_int("attribute_values", g.attr_count() as u64)
+        .end_obj();
+}
+
 fn stats(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("stats needs a graph file")?;
+    let mut json = false;
+    let mut path: Option<&String> = None;
+    for a in args {
+        match a.as_str() {
+            "--json" => json = true,
+            other if !other.starts_with('-') && path.is_none() => path = Some(a),
+            other if other.starts_with('-') => return Err(format!("unknown flag '{other}'")),
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+    }
+    let path = path.ok_or("stats needs a graph file")?;
     let g = load(path)?;
+    if json {
+        println!("{}", stats_json(&g));
+        return Ok(());
+    }
     println!(
         "vertices: {}, edges: {}, attribute values: {}",
         g.vertex_count(),
@@ -255,6 +368,37 @@ fn stats(args: &[String]) -> Result<(), String> {
         println!("  {:<24} {count}", g.attrs().name(a).unwrap_or("?"));
     }
     Ok(())
+}
+
+/// The `stats --json` document: graph shape plus the structural
+/// metrics the human-readable listing shows.
+fn stats_json(g: &AttributedGraph) -> String {
+    let mut j = Json::new();
+    j.begin_obj();
+    j.field_str("command", "stats");
+    graph_json(&mut j, g);
+    j.field_bool("connected", g.is_connected());
+    j.field_int("components", g.component_count() as u64);
+    if let Some(d) = metrics::degree_stats(g) {
+        j.begin_obj_field("degree")
+            .field_int("min", d.min as u64)
+            .field_num("mean", d.mean)
+            .field_int("max", d.max as u64)
+            .end_obj();
+    }
+    j.field_num("mean_labels_per_vertex", g.mean_labels_per_vertex());
+    j.field_num("attribute_homophily", metrics::attribute_homophily(g));
+    j.field_num("mean_clustering", metrics::mean_clustering(g));
+    j.begin_arr_field("top_attribute_values");
+    for (a, count) in metrics::attribute_histogram(g).into_iter().take(10) {
+        j.begin_obj()
+            .field_str("value", g.attrs().name(a).unwrap_or("?"))
+            .field_int("count", count as u64)
+            .end_obj();
+    }
+    j.end_arr();
+    j.end_obj();
+    j.finish()
 }
 
 fn generate(args: &[String]) -> Result<(), String> {

@@ -224,6 +224,116 @@ fn ingest_without_feature_points_at_generators() {
     );
 }
 
+/// Structural well-formedness check for the hand-rolled `--json`
+/// output: balanced braces/brackets outside strings, no trailing
+/// garbage, string escapes valid. (CI additionally pipes a real run
+/// through `python3 -m json.tool`.)
+fn assert_wellformed_json(doc: &str) {
+    let doc = doc.trim();
+    assert!(
+        doc.starts_with('{') && doc.ends_with('}'),
+        "not an object: {doc:.40}"
+    );
+    let mut depth: i64 = 0;
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in doc.chars() {
+        if in_str {
+            match (escaped, c) {
+                (true, _) => escaped = false,
+                (false, '\\') => escaped = true,
+                (false, '"') => in_str = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' | '[' => depth += 1,
+            '}' | ']' => {
+                depth -= 1;
+                assert!(depth >= 0, "unbalanced close in {doc}");
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(depth, 0, "unbalanced braces in {doc}");
+    assert!(!in_str, "unterminated string in {doc}");
+}
+
+#[test]
+fn mine_json_emits_one_machine_readable_document() {
+    let path = temp_path("json.graph");
+    let path_str = path.to_str().unwrap();
+    cspm(&["generate", "dblp", path_str, "--scale", "tiny"]);
+
+    let (ok, out, _) = cspm(&["mine", path_str, "--json", "--top", "2"]);
+    assert!(ok);
+    assert_eq!(out.trim().lines().count(), 1, "one document on stdout");
+    assert_wellformed_json(&out);
+    // ModelSummary, RunStats, and the compression ratio all present.
+    for key in [
+        "\"command\":\"mine\"",
+        "\"variant\":\"partial\"",
+        "\"vertices\":",
+        "\"compression_ratio\":",
+        "\"merges\":",
+        "\"total_gain_evals\":",
+        "\"pruned_pairs\":",
+        "\"delegated\":false",
+        "\"cancelled\":false",
+        "\"n_astars\":",
+        "\"n_coresets\":",
+        "\"mean_leafset_size\":",
+        "\"data_bits\":",
+        "\"model_bits\":",
+        "\"total_bits\":",
+        "\"conditional_entropy\":",
+        "\"top_patterns\":[",
+        "\"code_len_bits\":",
+    ] {
+        assert!(out.contains(key), "missing {key} in {out}");
+    }
+    // --top bounds the pattern array.
+    assert_eq!(out.matches("\"astar\":").count(), 2);
+    // The human-readable lines must not leak into the JSON stream.
+    assert!(!out.contains("a-stars:"));
+
+    let (ok, basic, _) = cspm(&["mine", path_str, "--json", "--basic", "--top", "1"]);
+    assert!(ok);
+    assert!(basic.contains("\"variant\":\"basic\""));
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn stats_json_emits_graph_metrics() {
+    let path = temp_path("json-stats.graph");
+    let path_str = path.to_str().unwrap();
+    cspm(&["generate", "usflight", path_str, "--scale", "tiny"]);
+
+    let (ok, out, _) = cspm(&["stats", path_str, "--json"]);
+    assert!(ok);
+    assert_eq!(out.trim().lines().count(), 1);
+    assert_wellformed_json(&out);
+    for key in [
+        "\"command\":\"stats\"",
+        "\"vertices\":40",
+        "\"connected\":",
+        "\"components\":",
+        "\"degree\":{",
+        "\"attribute_homophily\":",
+        "\"mean_clustering\":",
+        "\"top_attribute_values\":[",
+    ] {
+        assert!(out.contains(key), "missing {key} in {out}");
+    }
+
+    let (ok, _, stderr) = cspm(&["stats", path_str, "--frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown flag"));
+    std::fs::remove_file(path).ok();
+}
+
 #[test]
 fn helpful_errors() {
     let (ok, _, stderr) = cspm(&[]);
