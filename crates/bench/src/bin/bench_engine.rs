@@ -16,7 +16,12 @@
 //! `merge_loop_session_warm` (`apply_delta` on a session that already
 //! holds the base graph — same merge loop, but database *patching*
 //! replaces database *construction*; results are asserted
-//! bit-identical). FullRegeneration is recorded on every dataset: past
+//! bit-identical), and the durable-store open pair:
+//! `store_rebuild_cold` (open the snapshot, rebuild the database from
+//! the recovered graph) vs `store_open_warm` (decode the snapshot's
+//! serialized DB section instead — `InvertedDb::from_pristine_rows`;
+//! description lengths asserted bit-identical). FullRegeneration is
+//! recorded on every dataset: past
 //! the delegation threshold (Pokec) it completes by delegating to the
 //! incremental policy instead of being skipped.
 //!
@@ -332,6 +337,73 @@ fn main() {
             name: format!("{}/merge_loop_session_warm", d.name),
             secs: warm,
         });
+
+        // Durable store open: a checkpointed store restores the
+        // pristine database by decoding the snapshot's DB section
+        // (`InvertedDb::from_pristine_rows`) instead of re-scanning
+        // the recovered graph (`InvertedDb::build`). Both opens read
+        // the same snapshot bytes; the restored databases must carry
+        // bit-identical description lengths.
+        let store_path = std::env::temp_dir()
+            .join("cspm-bench-store")
+            .join(format!("{}.csps", d.name.replace(['/', ' '], "_")));
+        std::fs::create_dir_all(store_path.parent().unwrap()).expect("can create store dir");
+        std::fs::remove_file(&store_path).ok();
+        {
+            use cspm_store::Durable;
+            let mut durable = Miner::new()
+                .durable(&store_path)
+                .expect("store opens fresh");
+            durable.mine(&d.graph).expect("seeding mine persists");
+        }
+        let open_state = || {
+            let (_, recovered) = cspm_store::SessionStore::open(&store_path).expect("store opens");
+            recovered.state.expect("checkpointed store has state")
+        };
+        let mut warm_dl = f64::NAN;
+        let store_warm = median_secs(reps, || {
+            let state = open_state();
+            let db = InvertedDb::from_pristine_rows(
+                &state.graph,
+                GainPolicy::Total,
+                state
+                    .db
+                    .as_ref()
+                    .expect("single-value snapshot has a DB section")
+                    .iter(),
+            )
+            .expect("serialized rows restore");
+            warm_dl = db.total_dl();
+            db
+        });
+        let mut cold_dl = f64::NAN;
+        let store_cold = median_secs(reps, || {
+            let state = open_state();
+            let db = InvertedDb::build(&state.graph, CoresetMode::SingleValue, GainPolicy::Total);
+            cold_dl = db.total_dl();
+            db
+        });
+        assert_eq!(
+            warm_dl.to_bits(),
+            cold_dl.to_bits(),
+            "warm store open must restore the cold-built database exactly"
+        );
+        println!(
+            "  store open: cold rebuild {} vs warm restore {} ({:.2}x)",
+            fmt_secs(store_cold),
+            fmt_secs(store_warm),
+            store_cold / store_warm
+        );
+        records.push(Record {
+            name: format!("{}/store_rebuild_cold", d.name),
+            secs: store_cold,
+        });
+        records.push(Record {
+            name: format!("{}/store_open_warm", d.name),
+            secs: store_warm,
+        });
+        std::fs::remove_file(&store_path).ok();
+        std::fs::remove_file(store_path.with_extension("csps.wal")).ok();
     }
 
     let mut f = std::fs::File::create(&out_path).expect("can create output file");

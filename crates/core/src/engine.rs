@@ -100,6 +100,14 @@ pub trait ProgressObserver {
     /// [`RunStats::iterations`](crate::RunStats) additionally include
     /// the upkeep evaluations, as they always have.
     fn on_iteration(&mut self, stat: &IterationStat) -> ControlFlow<()>;
+
+    /// A recoverable anomaly outside the merge loop — e.g. a durable
+    /// session truncating a torn WAL tail or falling back from a
+    /// corrupt snapshot during recovery. Purely informational: the
+    /// operation already degraded gracefully. Default: ignored.
+    fn on_warning(&mut self, message: &str) {
+        let _ = message;
+    }
 }
 
 /// The observer the plain entry points use: never cancels.

@@ -159,6 +159,29 @@ impl std::fmt::Display for PatchError {
 
 impl std::error::Error for PatchError {}
 
+/// Why [`InvertedDb::from_pristine_rows`] rejected a serialized row
+/// set. Restoration is fed from checksummed snapshot files, so this
+/// only trips on data that was mangled *before* being checksummed (or
+/// written by something other than the store); callers treat it like
+/// any corrupt snapshot and rebuild cold.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RestoreError {
+    /// Which structural invariant the rows violated.
+    pub message: &'static str,
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "serialized rows are not a valid database: {}",
+            self.message
+        )
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
 impl InvertedDb {
     /// Builds the inverted database from an attributed graph (Step 1 and
     /// Step 2 of Algorithm 1).
@@ -449,6 +472,109 @@ impl InvertedDb {
 
         self.recompute_dl_terms();
         Ok(stats)
+    }
+
+    /// Rebuilds a **pristine single-value** database from its
+    /// serialized rows — the warm half of a `cspm-store` snapshot
+    /// restore. The cheap metadata (mapping table, standard code table,
+    /// coresets, canonical singleton leafsets) is re-derived from `g`
+    /// exactly as [`Self::build`] derives it; only the expensive star
+    /// scan is replaced by inserting the given `(coreset, leafset,
+    /// positions)` rows verbatim. The restore ends in the same
+    /// canonical `recompute_dl_terms` pass as a build, so a
+    /// database restored from a fresh build's [`Self::iter_rows`]
+    /// output is logically identical to that build — same numbering,
+    /// same frequencies, bit-identical DL terms — and mining it takes
+    /// the exact same greedy path.
+    ///
+    /// Rows must come from a pristine [`CoresetMode::SingleValue`]
+    /// database of an equal graph (pristine single-value rows only ever
+    /// reference singleton leafsets, so `leafset == attribute id`).
+    /// Every structural invariant is checked — in-range ids, sorted
+    /// non-empty positions, no duplicate rows — and violations return a
+    /// typed [`RestoreError`], never a panic: the caller falls back to
+    /// a cold [`Self::build`].
+    pub fn from_pristine_rows<'a, I>(
+        g: &AttributedGraph,
+        gain_policy: GainPolicy,
+        rows: I,
+    ) -> Result<Self, RestoreError>
+    where
+        I: IntoIterator<Item = (CoresetId, LeafsetId, &'a [VertexId])>,
+    {
+        let mapping = g.mapping_table();
+        let st = StandardCodeTable::from_counts(
+            (0..g.attr_count())
+                .map(|a| mapping.frequency(a as AttrId) as u64)
+                .collect(),
+        );
+        let mut this = Self {
+            st,
+            coresets: Vec::new(),
+            leafsets: Vec::new(),
+            leafset_index: HashMap::new(),
+            store: PostingStore::with_capacity(g.label_pair_count()),
+            rows: Vec::new(),
+            scratch_common: Vec::new(),
+            leafset_coresets: Vec::new(),
+            coreset_freq: Vec::new(),
+            live_leafsets: 0,
+            mode: CoresetMode::SingleValue,
+            pristine: true,
+            term1: 0.0,
+            term2: 0.0,
+            material_cost: 0.0,
+            ctc_cost: 0.0,
+            gain_policy,
+        };
+        for a in (0..g.attr_count() as AttrId).filter(|&a| mapping.frequency(a) > 0) {
+            this.coresets.push(Coreset {
+                items: vec![a],
+                code_len: this.st.code_len(a as usize),
+                positions: mapping.positions(a).to_vec(),
+            });
+            this.rows.push(HashMap::new());
+            this.coreset_freq.push(0);
+        }
+        for a in 0..g.attr_count() as AttrId {
+            this.intern_leafset(vec![a]);
+        }
+        let n = g.vertex_count() as VertexId;
+        for (e, lid, positions) in rows {
+            if e as usize >= this.coresets.len() {
+                return Err(RestoreError {
+                    message: "row references unknown coreset",
+                });
+            }
+            if (lid as usize) >= this.leafsets.len() {
+                return Err(RestoreError {
+                    message: "row references a non-singleton leafset",
+                });
+            }
+            if positions.is_empty() {
+                return Err(RestoreError {
+                    message: "row has no positions",
+                });
+            }
+            if positions.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(RestoreError {
+                    message: "row positions are not strictly sorted",
+                });
+            }
+            if *positions.last().expect("non-empty") >= n {
+                return Err(RestoreError {
+                    message: "row position beyond the graph",
+                });
+            }
+            if this.rows[e as usize].contains_key(&lid) {
+                return Err(RestoreError {
+                    message: "duplicate row",
+                });
+            }
+            this.add_row(e, lid, positions);
+        }
+        this.recompute_dl_terms();
+        Ok(this)
     }
 
     /// Whether no merge has been applied since the build (or last
@@ -1409,6 +1535,67 @@ mod tests {
             .map(|e| db.coreset_freq(e))
             .collect();
         (rows, freqs, db.data_cost(), db.model_cost())
+    }
+
+    /// `from_pristine_rows` fed a fresh build's own rows must land on a
+    /// database bit-identical to that build (floats included) — the
+    /// invariant warm snapshot restores rest on.
+    #[test]
+    fn restored_database_matches_fresh_build() {
+        let (g, _) = paper_example();
+        for policy in [GainPolicy::Total, GainPolicy::DataOnly] {
+            let fresh = InvertedDb::build(&g, CoresetMode::SingleValue, policy);
+            let mut rows: Vec<(CoresetId, LeafsetId, Vec<VertexId>)> = fresh
+                .iter_rows()
+                .map(|(e, l, p)| (e, l, p.to_vec()))
+                .collect();
+            rows.sort();
+            let restored = InvertedDb::from_pristine_rows(
+                &g,
+                policy,
+                rows.iter().map(|(e, l, p)| (*e, *l, p.as_slice())),
+            )
+            .unwrap();
+            assert!(restored.is_pristine());
+            assert_eq!(digest(&restored), digest(&fresh));
+            assert_eq!(restored.total_dl().to_bits(), fresh.total_dl().to_bits());
+            assert_eq!(
+                restored.conditional_entropy().to_bits(),
+                fresh.conditional_entropy().to_bits()
+            );
+        }
+    }
+
+    /// Every structural violation in serialized rows is a typed
+    /// [`RestoreError`], never a panic.
+    #[test]
+    fn restore_rejects_mangled_rows() {
+        let (g, _) = paper_example();
+        type Rows = Vec<(CoresetId, LeafsetId, Vec<VertexId>)>;
+        let build = |rows: Rows| {
+            InvertedDb::from_pristine_rows(
+                &g,
+                GainPolicy::Total,
+                rows.iter().map(|(e, l, p)| (*e, *l, p.as_slice())),
+            )
+        };
+        let cases: Vec<(Rows, &str)> = vec![
+            (vec![(99, 0, vec![0])], "unknown coreset"),
+            (vec![(0, 99, vec![0])], "non-singleton leafset"),
+            (vec![(0, 0, vec![])], "no positions"),
+            (vec![(0, 0, vec![1, 0])], "not strictly sorted"),
+            (vec![(0, 0, vec![0, 0])], "not strictly sorted"),
+            (vec![(0, 0, vec![0, 99])], "beyond the graph"),
+            (vec![(0, 0, vec![0]), (0, 0, vec![1])], "duplicate row"),
+        ];
+        for (rows, needle) in cases {
+            let err = build(rows).unwrap_err();
+            assert!(
+                err.message.contains(needle),
+                "expected '{needle}', got '{}'",
+                err.message
+            );
+        }
     }
 
     /// `apply_additions` must land on a database *bit-identical* (in

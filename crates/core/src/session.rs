@@ -198,8 +198,17 @@ pub enum SessionError {
     /// The session owns a database but no graph (it was
     /// [adopted](MiningSession::adopt_db)); deltas need the graph.
     NoGraph,
-    /// The delta does not apply to the session's current graph.
-    Delta(GraphError),
+    /// A delta does not apply to the session's current graph. `index`
+    /// is its position in the staged batch (always 0 for the
+    /// single-delta entry points), so a caller can resume from
+    /// `deltas[index..]` after repairing — every delta before it **is**
+    /// absorbed (see [`MiningSession::stage_deltas`]).
+    Delta {
+        /// Position of the rejected delta within the staged batch.
+        index: usize,
+        /// Why that delta did not apply.
+        source: GraphError,
+    },
 }
 
 impl std::fmt::Display for SessionError {
@@ -207,12 +216,21 @@ impl std::fmt::Display for SessionError {
         match self {
             Self::Empty => write!(f, "session has no graph loaded"),
             Self::NoGraph => write!(f, "session adopted a bare database; deltas require a graph"),
-            Self::Delta(e) => write!(f, "delta does not apply: {e}"),
+            Self::Delta { index, source } => {
+                write!(f, "delta #{index} of the batch does not apply: {source}")
+            }
         }
     }
 }
 
-impl std::error::Error for SessionError {}
+impl std::error::Error for SessionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Delta { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 /// How a [`MiningSession::stage_delta`] call updated the session.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -274,6 +292,25 @@ impl MiningSession {
     pub fn adopt_db(&mut self, db: InvertedDb) {
         self.pristine = Some(db);
         self.graph = None;
+    }
+
+    /// Installs previously captured warm state — a graph **and** the
+    /// pristine database that corresponds to it — without rebuilding
+    /// anything. This is the restore half of a durable session
+    /// (`cspm-store` reads both from a snapshot file); the pair must
+    /// belong together (the database built from, or patched up to,
+    /// exactly this graph), which the caller asserts by construction —
+    /// a mismatched pair mines the database, not the graph, and deltas
+    /// will desynchronise.
+    pub fn restore(&mut self, g: AttributedGraph, db: InvertedDb) {
+        self.pristine = Some(db);
+        self.graph = Some(g);
+    }
+
+    /// The retained pristine database, if the session is loaded — the
+    /// serialisation source for durable-session checkpoints.
+    pub fn pristine_db(&self) -> Option<&InvertedDb> {
+        self.pristine.as_ref()
     }
 
     /// Whether the session holds a database to mine.
@@ -351,9 +388,14 @@ impl MiningSession {
     /// still; batching earns its keep when the session has already
     /// mined and the batch is small relative to the graph.)
     ///
-    /// If a delta in the middle is rejected, the deltas before it
-    /// remain absorbed (graph and database stay consistent) and the
-    /// error is returned.
+    /// **Applied-prefix guarantee:** if delta `i` of the batch is
+    /// rejected, deltas `0..i` remain absorbed — graph and database are
+    /// re-synced to exactly that prefix before the error returns — and
+    /// the error carries `i` as [`SessionError::Delta::index`], so the
+    /// caller can repair `deltas[i]` and resume staging from
+    /// `deltas[i..]` without replaying (or losing) the prefix. A
+    /// rejected delta validates before mutating, so it is absorbed
+    /// either wholly or not at all.
     pub fn stage_deltas(&mut self, deltas: &[GraphDelta]) -> Result<DeltaStats, SessionError> {
         if self.pristine.is_none() {
             return Err(SessionError::Empty);
@@ -364,13 +406,13 @@ impl MiningSession {
         // mutating, leaving the graph at the previous delta's state.
         let mut dirty: Vec<VertexId> = Vec::new();
         let mut error = None;
-        for delta in deltas {
+        for (index, delta) in deltas.iter().enumerate() {
             match delta.apply_in_place(graph) {
                 Ok(d) => dirty.extend(d),
-                Err(e) => {
+                Err(source) => {
                     // Re-sync the database with the successfully
                     // applied prefix before surfacing the error.
-                    error = Some(SessionError::Delta(e));
+                    error = Some(SessionError::Delta { index, source });
                     break;
                 }
             }
@@ -627,7 +669,9 @@ mod tests {
         let mut s = Miner::new().build();
         s.mine(&g);
         let err = s.stage_deltas(&[good.clone(), bad]).unwrap_err();
-        assert!(matches!(err, SessionError::Delta(_)));
+        // The error names the rejected delta's batch index, so a caller
+        // can resume from `deltas[index..]` (applied-prefix guarantee).
+        assert!(matches!(err, SessionError::Delta { index: 1, .. }));
         // The good prefix is absorbed; the session graph matches it
         // and mining agrees with a cold run on that graph.
         let prefix = good.apply(&g).unwrap().graph;

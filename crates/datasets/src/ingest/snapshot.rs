@@ -7,32 +7,46 @@
 //!
 //! ```text
 //! magic "CSBN" · version u16 · format-tag u8 · reserved u8 · fingerprint u64
-//! name str16 · category str16 · n u32 · m u32 · a u32
-//! a × attr-name str16
-//! n × (label-count u16, count × attr-id u32)
-//! m × (u u32, v u32)
+//! one checksummed frame ([`cspm_graph::codec`], tag 0x01) wrapping:
+//!   name str16 · category str16 · n u32 · m u32 · a u32
+//!   a × attr-name str16
+//!   n × (label-count u16, count × attr-id u32)
+//!   m × (u u32, v u32)
 //! ```
 //!
 //! where `str16` is a u16 byte length followed by UTF-8 bytes. The
 //! fingerprint hashes the byte length and mtime of every source file
 //! (main dump + sidecars); a mismatch means a source changed and the
 //! snapshot must be rebuilt ([`IngestError::SnapshotStale`]). The
-//! format tag records which parser built the graph. Every way a file
-//! can disagree with this layout maps to a typed [`IngestError`] —
-//! never a panic.
+//! format tag records which parser built the graph.
+//!
+//! Since v2 the whole body rides in one CRC-32 frame (the same codec
+//! the session store uses), so a torn write or a bit-flipped byte is
+//! *detected* — [`IngestError::SnapshotCorrupt`], which callers treat
+//! as "re-parse and rewrite" — instead of deserialising garbage. The
+//! header stays outside the frame on purpose: magic, version and
+//! fingerprint decide *which* error to raise (foreign file, version
+//! skew, stale cache) and must be readable even when the body is not.
+//! Every way a file can disagree with this layout maps to a typed
+//! [`IngestError`] — never a panic.
 
 use std::fs;
 use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
 
+use cspm_graph::codec::{read_frame, write_frame, FrameError};
 use cspm_graph::{AttrTable, AttributedGraph};
 
 use super::error::IngestError;
 
 /// First four bytes of every snapshot.
 pub const CSBIN_MAGIC: [u8; 4] = *b"CSBN";
-/// Layout version this build reads and writes.
-pub const CSBIN_VERSION: u16 = 1;
+/// Layout version this build reads and writes. v2 = checksummed body
+/// frame; v1 files (no checksum) are rebuilt via the version check.
+pub const CSBIN_VERSION: u16 = 2;
+
+/// Frame tag of the single body frame following the header.
+const CSBIN_BODY_TAG: u8 = 0x01;
 
 /// Snapshot path for a source dump: `<input>.csbin` alongside it.
 pub fn snapshot_path(input: &Path) -> PathBuf {
@@ -100,32 +114,40 @@ pub fn write_snapshot(
         u32::try_from(graph.attr_count())
             .map_err(|_| unrepresentable("more than u32::MAX attribute values"))?,
     );
-    let mut w = BufWriter::new(fs::File::create(path)?);
-    w.write_all(&CSBIN_MAGIC)?;
-    w.write_all(&CSBIN_VERSION.to_le_bytes())?;
-    w.write_all(&[format_tag, 0])?;
-    w.write_all(&fingerprint.to_le_bytes())?;
-    write_str16(&mut w, path, name)?;
-    write_str16(&mut w, path, category)?;
-    w.write_all(&n.to_le_bytes())?;
-    w.write_all(&m.to_le_bytes())?;
-    w.write_all(&a.to_le_bytes())?;
+    // The body is assembled in memory so the frame footer can checksum
+    // it as one unit (`Vec<u8>` is a `Write`r, so the helpers below
+    // serve both the old streaming shape and this one).
+    let mut body: Vec<u8> = Vec::new();
+    write_str16(&mut body, path, name)?;
+    write_str16(&mut body, path, category)?;
+    body.extend_from_slice(&n.to_le_bytes());
+    body.extend_from_slice(&m.to_le_bytes());
+    body.extend_from_slice(&a.to_le_bytes());
     for (_, attr_name) in graph.attrs().iter() {
-        write_str16(&mut w, path, attr_name)?;
+        write_str16(&mut body, path, attr_name)?;
     }
     for v in graph.vertices() {
         let labels = graph.labels(v);
         let count = u16::try_from(labels.len())
             .map_err(|_| unrepresentable("more than u16::MAX labels on one vertex"))?;
-        w.write_all(&count.to_le_bytes())?;
+        body.extend_from_slice(&count.to_le_bytes());
         for &a in labels {
-            w.write_all(&a.to_le_bytes())?;
+            body.extend_from_slice(&a.to_le_bytes());
         }
     }
     for (u, v) in graph.edges() {
-        w.write_all(&u.to_le_bytes())?;
-        w.write_all(&v.to_le_bytes())?;
+        body.extend_from_slice(&u.to_le_bytes());
+        body.extend_from_slice(&v.to_le_bytes());
     }
+
+    let mut w = BufWriter::new(fs::File::create(path)?);
+    w.write_all(&CSBIN_MAGIC)?;
+    w.write_all(&CSBIN_VERSION.to_le_bytes())?;
+    w.write_all(&[format_tag, 0])?;
+    w.write_all(&fingerprint.to_le_bytes())?;
+    let mut framed = Vec::with_capacity(body.len() + 16);
+    write_frame(&mut framed, CSBIN_BODY_TAG, &body);
+    w.write_all(&framed)?;
     w.flush()?;
     Ok(())
 }
@@ -175,6 +197,27 @@ pub fn load_snapshot(
             path: path.to_path_buf(),
         });
     }
+    // Everything else lives in one checksummed frame; a torn tail or a
+    // flipped bit anywhere in it surfaces here, before any parsing.
+    let body = match read_frame(&bytes, c.pos) {
+        Ok(Some((CSBIN_BODY_TAG, payload, next))) => match read_frame(&bytes, next) {
+            Ok(None) => payload,
+            _ => return Err(c.corrupt("trailing bytes after the body frame")),
+        },
+        Ok(Some(_)) => return Err(c.corrupt("unexpected body frame tag")),
+        Ok(None) => return Err(c.corrupt("missing body frame")),
+        Err(FrameError::Truncated { .. }) => {
+            return Err(c.corrupt("body frame is truncated (torn write)"))
+        }
+        Err(FrameError::Checksum { .. }) => {
+            return Err(c.corrupt("body frame fails its checksum (bit flip)"))
+        }
+    };
+    let mut c = Cursor {
+        bytes: body,
+        pos: 0,
+        path,
+    };
     let name = c.str16()?;
     let category = c.str16()?;
     let n = c.u32()? as usize;
@@ -182,7 +225,7 @@ pub fn load_snapshot(
     let a = c.u32()? as usize;
     // Counts bound what follows; reject impossible ones before any
     // allocation sized by them.
-    if (bytes.len() - c.pos) < n * 2 + m * 8 {
+    if (c.bytes.len() - c.pos) < n * 2 + m * 8 {
         return Err(c.corrupt("counts exceed file size"));
     }
     let mut attrs = AttrTable::new();
@@ -346,6 +389,45 @@ mod tests {
                 "keep={keep}: expected snapshot error, got {err}"
             );
         }
+    }
+
+    #[test]
+    fn bit_flips_anywhere_in_the_body_are_detected() {
+        let d = dblp_like(Scale::Tiny, 3);
+        let path = temp("bitflip.csbin");
+        write_snapshot(&path, 9, 2, d.name, d.category, &d.graph).unwrap();
+        let pristine = fs::read(&path).unwrap();
+        // Every byte past the 16-byte header is under the frame CRC:
+        // one flipped bit anywhere must surface as a recoverable
+        // snapshot error (callers re-parse the dump), never as a
+        // silently different graph and never as a panic.
+        for at in 16..pristine.len() {
+            let mut bytes = pristine.clone();
+            bytes[at] ^= 1 << (at % 8);
+            fs::write(&path, &bytes).unwrap();
+            let err = load_snapshot(&path, 9).unwrap_err();
+            assert!(
+                matches!(err, IngestError::SnapshotCorrupt { .. }),
+                "flip at byte {at} slipped through: {err}"
+            );
+            assert!(err.is_snapshot(), "flip at {at}: must be recoverable");
+        }
+        // Header flips are caught by their own fields: magic, version,
+        // fingerprint. (The format tag byte is advisory only.)
+        let mut bytes = pristine.clone();
+        bytes[0] ^= 0x20;
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            load_snapshot(&path, 9),
+            Err(IngestError::SnapshotMagic { .. })
+        ));
+        let mut bytes = pristine.clone();
+        bytes[10] ^= 0x01; // fingerprint
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            load_snapshot(&path, 9),
+            Err(IngestError::SnapshotStale { .. })
+        ));
     }
 
     #[test]

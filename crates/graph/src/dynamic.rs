@@ -20,6 +20,7 @@
 //! [`union_graph`]: SnapshotSequence::union_graph
 
 use crate::attrs::AttrTable;
+use crate::codec::{put_str, put_u32, DecodeError, Reader};
 use crate::error::GraphError;
 use crate::graph::{AttributedGraph, VertexId};
 
@@ -257,6 +258,87 @@ impl GraphDelta {
             delta.add_edge(handles[u as usize], handles[v as usize]);
         }
         delta
+    }
+
+    /// Serialises the delta into `out` as a little-endian byte record
+    /// (the WAL wire format of `cspm-store`; layout in
+    /// `docs/FORMATS.md`). [`Self::from_bytes`] inverts it exactly:
+    /// declared values, vertices, edges and labels keep their order, so
+    /// the decoded delta applies bit-identically.
+    pub fn write_bytes(&self, out: &mut Vec<u8>) {
+        put_u32(out, self.declared.len() as u32);
+        for value in &self.declared {
+            put_str(out, value);
+        }
+        put_u32(out, self.vertices.len() as u32);
+        for values in &self.vertices {
+            put_u32(out, values.len() as u32);
+            for value in values {
+                put_str(out, value);
+            }
+        }
+        put_u32(out, self.edges.len() as u32);
+        for &(a, b) in &self.edges {
+            for dv in [a, b] {
+                match dv {
+                    DeltaVertex::Existing(v) => {
+                        out.push(0);
+                        put_u32(out, v);
+                    }
+                    DeltaVertex::Added(i) => {
+                        out.push(1);
+                        put_u32(out, i);
+                    }
+                }
+            }
+        }
+        put_u32(out, self.labels.len() as u32);
+        for (v, value) in &self.labels {
+            put_u32(out, *v);
+            put_str(out, value);
+        }
+    }
+
+    /// [`Self::write_bytes`] into a fresh buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.write_bytes(&mut out);
+        out
+    }
+
+    /// Decodes a [`Self::write_bytes`] record. Every malformed input —
+    /// truncation, an unknown vertex-reference tag, invalid UTF-8,
+    /// trailing bytes — is a typed [`DecodeError`], never a panic.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(bytes);
+        let mut delta = Self::new();
+        for _ in 0..r.bounded_count(4)? {
+            delta.declared.push(r.str()?);
+        }
+        for _ in 0..r.bounded_count(4)? {
+            let mut values = Vec::new();
+            for _ in 0..r.bounded_count(4)? {
+                values.push(r.str()?);
+            }
+            delta.vertices.push(values);
+        }
+        for _ in 0..r.bounded_count(10)? {
+            let mut dv = || -> Result<DeltaVertex, DecodeError> {
+                match r.u8()? {
+                    0 => Ok(DeltaVertex::Existing(r.u32()?)),
+                    1 => Ok(DeltaVertex::Added(r.u32()?)),
+                    _ => Err(DecodeError::new("unknown delta-vertex tag")),
+                }
+            };
+            let (a, b) = (dv()?, dv()?);
+            delta.edges.push((a, b));
+        }
+        for _ in 0..r.bounded_count(8)? {
+            let v = r.u32()?;
+            delta.labels.push((v, r.str()?));
+        }
+        r.finish()?;
+        Ok(delta)
     }
 
     /// Resolves a [`DeltaVertex`] against a base of `base_n` vertices.

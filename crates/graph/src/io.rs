@@ -11,10 +11,17 @@
 //!
 //! Vertex ids must be dense (`0..n`), but `v` lines may appear in any
 //! order. Attribute values may not contain whitespace.
+//!
+//! A binary codec ([`encode_graph`] / [`decode_graph`]) backs the
+//! `cspm-store` session snapshot; unlike the text format it preserves
+//! the attribute table exactly (interning order and vertex-unused
+//! values included), so a decoded graph compares equal to the original.
 
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 
+use crate::attrs::{AttrId, AttrTable};
 use crate::builder::GraphBuilder;
+use crate::codec::{put_str, put_u32, DecodeError, Reader};
 use crate::error::GraphError;
 use crate::graph::AttributedGraph;
 
@@ -104,6 +111,84 @@ pub fn write_graph<W: Write>(g: &AttributedGraph, writer: W) -> Result<(), Graph
     }
     w.flush()?;
     Ok(())
+}
+
+/// Serialises `g` into `out` as a little-endian byte section (the
+/// snapshot wire format of `cspm-store`; layout in `docs/FORMATS.md`).
+/// [`decode_graph`] inverts it to a graph that compares **equal** to
+/// `g`: the attribute table keeps its interning order (vertex-unused
+/// values included), labels and adjacency are already sorted, and each
+/// edge is written once as `(u, v)` with `u < v`.
+pub fn encode_graph(g: &AttributedGraph, out: &mut Vec<u8>) {
+    put_u32(out, g.vertex_count() as u32);
+    put_u32(out, g.edge_count() as u32);
+    put_u32(out, g.attr_count() as u32);
+    for (_, name) in g.attrs().iter() {
+        put_str(out, name);
+    }
+    for v in g.vertices() {
+        put_u32(out, g.labels(v).len() as u32);
+        for &a in g.labels(v) {
+            put_u32(out, a);
+        }
+    }
+    for (u, v) in g.edges() {
+        put_u32(out, u);
+        put_u32(out, v);
+    }
+}
+
+/// Decodes an [`encode_graph`] section. Malformed input — truncation,
+/// out-of-range attribute or vertex ids, duplicate attribute names
+/// (which would silently renumber every label), trailing bytes — is a
+/// typed [`DecodeError`], never a panic.
+pub fn decode_graph(bytes: &[u8]) -> Result<AttributedGraph, DecodeError> {
+    let mut r = Reader::new(bytes);
+    let n = r.u32()? as usize;
+    let m = r.u32()? as usize;
+    let a = r.u32()? as usize;
+    // Cheap lower bound (4 bytes per label count / edge endpoint /
+    // attribute name length) so a corrupt count cannot provoke a huge
+    // allocation before the reads below would fail anyway.
+    if n.checked_mul(4).is_none_or(|b| b > r.remaining())
+        || m.checked_mul(8).is_none_or(|b| b > r.remaining())
+        || a.checked_mul(4).is_none_or(|b| b > r.remaining())
+    {
+        return Err(DecodeError::new("counts exceed remaining data"));
+    }
+    let mut attrs = AttrTable::new();
+    for _ in 0..a {
+        let name = r.str()?;
+        let before = attrs.len();
+        attrs.intern(&name);
+        if attrs.len() == before {
+            return Err(DecodeError::new("duplicate attribute name"));
+        }
+    }
+    let mut labels: Vec<Vec<AttrId>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let k = r.bounded_count(4)?;
+        let ids = r.u32s(k)?;
+        if ids.iter().any(|&id| id as usize >= a) {
+            return Err(DecodeError::new("label references unknown attribute"));
+        }
+        labels.push(ids);
+    }
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        let u = r.u32()?;
+        let v = r.u32()?;
+        edges.push((u, v));
+    }
+    r.finish()?;
+    let g = AttributedGraph::from_edge_list(labels, attrs, edges)
+        .map_err(|_| DecodeError::new("edge references unknown vertex or is a self-loop"))?;
+    if g.edge_count() != m {
+        // Duplicate edges collapsed: the section was not written by
+        // encode_graph (or was corrupted into claiming one twice).
+        return Err(DecodeError::new("duplicate edge in section"));
+    }
+    Ok(g)
 }
 
 /// Reads a SNAP-style edge list (`u<TAB>v` or `u v` per line, `#`
@@ -249,6 +334,53 @@ mod tests {
             g.attrs().get("gamma").map(|a| g.has_label(2, a)),
             Some(true)
         );
+    }
+
+    #[test]
+    fn binary_roundtrip_is_exact() {
+        let (g, _) = paper_example();
+        let mut bytes = Vec::new();
+        encode_graph(&g, &mut bytes);
+        let g2 = decode_graph(&bytes).unwrap();
+        assert_eq!(g2, g);
+    }
+
+    #[test]
+    fn binary_roundtrip_keeps_unused_attribute_values() {
+        // A hand-built table with a vertex-unused value ("ghost") in the
+        // middle: the text format would lose it, the binary one must not.
+        let mut attrs = AttrTable::new();
+        attrs.intern("a");
+        attrs.intern("ghost");
+        let b = attrs.intern("b");
+        let g =
+            AttributedGraph::from_edge_list(vec![vec![0], vec![b]], attrs, [(0u32, 1u32)]).unwrap();
+        let mut bytes = Vec::new();
+        encode_graph(&g, &mut bytes);
+        let g2 = decode_graph(&bytes).unwrap();
+        assert_eq!(g2, g);
+        assert_eq!(g2.attrs().name(1), Some("ghost"));
+    }
+
+    #[test]
+    fn binary_decode_never_panics_on_damage() {
+        let (g, _) = paper_example();
+        let mut bytes = Vec::new();
+        encode_graph(&g, &mut bytes);
+        for cut in 0..bytes.len() {
+            assert!(decode_graph(&bytes[..cut]).is_err(), "truncation at {cut}");
+        }
+        // Out-of-range label id.
+        let mut bad = bytes.clone();
+        let a = g.attr_count() as u32;
+        // First label id follows counts + names + first label count.
+        let labels_at = 12 + g.attrs().iter().map(|(_, n)| 4 + n.len()).sum::<usize>() + 4;
+        bad[labels_at..labels_at + 4].copy_from_slice(&(a + 7).to_le_bytes());
+        assert!(decode_graph(&bad).is_err());
+        // Trailing garbage.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(decode_graph(&long).is_err());
     }
 
     #[test]

@@ -32,6 +32,7 @@
 mod astar;
 mod attrs;
 mod builder;
+pub mod codec;
 pub mod dynamic;
 mod error;
 pub mod fixtures;
@@ -44,8 +45,9 @@ mod subgraph;
 pub use astar::AStar;
 pub use attrs::{AttrId, AttrTable};
 pub use builder::GraphBuilder;
+pub use codec::DecodeError;
 pub use error::GraphError;
 pub use graph::{AttributedGraph, MappingTable, VertexId};
-pub use io::{read_edge_list_with_labels, read_graph, write_graph};
+pub use io::{decode_graph, encode_graph, read_edge_list_with_labels, read_graph, write_graph};
 pub use star::{ExtendedStar, Star};
 pub use subgraph::{ego_network, induced_subgraph, Subgraph};

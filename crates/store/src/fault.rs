@@ -1,0 +1,199 @@
+//! Deterministic fault injection for the durability test suite.
+//!
+//! A [`FaultFile`] wraps any [`Write`] sink and misbehaves at a scripted
+//! byte offset — dying, silently dropping the tail, or flipping one bit.
+//! [`SessionStore`](crate::SessionStore) routes every on-disk mutation
+//! through one, so a test can arm a fault at a precise point in a
+//! snapshot, a WAL append, or a WAL reset and then assert what recovery
+//! makes of the damage. Offsets are counted from the start of *that
+//! write operation* (a whole snapshot file, one append batch, one fresh
+//! WAL), which makes an injection-point sweep a plain loop over
+//! `0..len` — no timing, no threads, no real crashes.
+
+use std::io::{self, Write};
+
+/// One scripted misbehaviour, at a byte offset within the faulted write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The process "dies" at offset `at`: bytes before it reach the
+    /// sink, everything from it on fails with an I/O error. Models a
+    /// crash mid-write — the caller sees the error, the file keeps the
+    /// torn prefix.
+    Kill {
+        /// Offset of the first byte that is never written.
+        at: u64,
+    },
+    /// Bytes from offset `at` on are silently discarded while the write
+    /// *reports success*. Models a torn write that the kernel
+    /// acknowledged but never made durable (power loss after a lying
+    /// fsync): the process carries on believing the data landed.
+    Truncate {
+        /// Offset of the first byte that is silently dropped.
+        at: u64,
+    },
+    /// The byte at offset `at` has one bit flipped (bit `at % 8`, so a
+    /// sweep exercises different bit positions). Models media
+    /// corruption; the write succeeds.
+    Flip {
+        /// Offset of the corrupted byte.
+        at: u64,
+    },
+}
+
+/// Which store write the armed fault applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultTarget {
+    /// The snapshot temp-file write inside a checkpoint (before the
+    /// atomic rename).
+    Snapshot,
+    /// The next WAL record append batch.
+    WalAppend,
+    /// The WAL rewrite at the end of a checkpoint (or after a replay
+    /// repair) — the window where the new snapshot already exists but
+    /// the old-generation WAL is being replaced.
+    WalReset,
+}
+
+/// A [`Write`] adapter that injects one [`Fault`] at its scripted
+/// offset. With no fault armed it is a transparent pass-through.
+#[derive(Debug)]
+pub struct FaultFile<W> {
+    inner: W,
+    fault: Option<Fault>,
+    /// Bytes successfully *accepted* so far (including bytes a
+    /// `Truncate` fault pretended to write).
+    written: u64,
+}
+
+impl<W: Write> FaultFile<W> {
+    /// Wraps `inner`; `fault` of `None` passes everything through.
+    pub fn new(inner: W, fault: Option<Fault>) -> Self {
+        Self {
+            inner,
+            fault,
+            written: 0,
+        }
+    }
+
+    /// Unwraps back to the sink (for `sync_all` on files).
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+/// The error every [`Fault::Kill`] surfaces as.
+pub(crate) fn injected_crash() -> io::Error {
+    io::Error::other("injected crash (fault harness)")
+}
+
+impl<W: Write> Write for FaultFile<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        match self.fault {
+            None => {
+                let n = self.inner.write(buf)?;
+                self.written += n as u64;
+                Ok(n)
+            }
+            Some(Fault::Kill { at }) => {
+                let room = at.saturating_sub(self.written);
+                if room == 0 {
+                    return Err(injected_crash());
+                }
+                let allowed = buf.len().min(room as usize);
+                let n = self.inner.write(&buf[..allowed])?;
+                self.written += n as u64;
+                // Partial success; the killing error surfaces on the
+                // retry `write_all` is guaranteed to make.
+                Ok(n)
+            }
+            Some(Fault::Truncate { at }) => {
+                let room = at.saturating_sub(self.written);
+                let allowed = buf.len().min(room as usize);
+                if allowed > 0 {
+                    self.inner.write_all(&buf[..allowed])?;
+                }
+                // Lie: the dropped tail "succeeded".
+                self.written += buf.len() as u64;
+                Ok(buf.len())
+            }
+            Some(Fault::Flip { at }) => {
+                let start = self.written;
+                let end = start + buf.len() as u64;
+                if at < start || at >= end {
+                    let n = self.inner.write(buf)?;
+                    self.written += n as u64;
+                    return Ok(n);
+                }
+                let mut copy = buf.to_vec();
+                copy[(at - start) as usize] ^= 1 << (at % 8);
+                let n = self.inner.write(&copy)?;
+                self.written += n as u64;
+                Ok(n)
+            }
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(fault: Fault, chunks: &[&[u8]]) -> (Vec<u8>, Result<(), io::Error>) {
+        let mut sink = Vec::new();
+        let mut f = FaultFile::new(&mut sink, Some(fault));
+        let mut outcome = Ok(());
+        for chunk in chunks {
+            if let Err(e) = f.write_all(chunk) {
+                outcome = Err(e);
+                break;
+            }
+        }
+        (sink, outcome)
+    }
+
+    #[test]
+    fn kill_keeps_prefix_and_errors() {
+        let (bytes, outcome) = run(Fault::Kill { at: 3 }, &[b"ab", b"cdef"]);
+        assert_eq!(bytes, b"abc");
+        assert!(outcome.is_err());
+    }
+
+    #[test]
+    fn kill_at_zero_writes_nothing() {
+        let (bytes, outcome) = run(Fault::Kill { at: 0 }, &[b"abcdef"]);
+        assert!(bytes.is_empty());
+        assert!(outcome.is_err());
+    }
+
+    #[test]
+    fn truncate_drops_tail_silently() {
+        let (bytes, outcome) = run(Fault::Truncate { at: 4 }, &[b"abc", b"def", b"gh"]);
+        assert_eq!(bytes, b"abcd");
+        assert!(outcome.is_ok());
+    }
+
+    #[test]
+    fn flip_corrupts_exactly_one_bit() {
+        let (bytes, outcome) = run(Fault::Flip { at: 2 }, &[b"ab", b"cd"]);
+        assert!(outcome.is_ok());
+        assert_eq!(bytes.len(), 4);
+        assert_eq!(&bytes[..2], b"ab");
+        assert_eq!(bytes[2], b'c' ^ (1 << 2));
+        assert_eq!(bytes[3], b'd');
+    }
+
+    #[test]
+    fn no_fault_is_transparent() {
+        let mut sink = Vec::new();
+        let mut f = FaultFile::new(&mut sink, None);
+        f.write_all(b"hello").unwrap();
+        assert_eq!(sink, b"hello");
+    }
+}

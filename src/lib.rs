@@ -56,3 +56,4 @@ pub use cspm_graph as graph;
 pub use cspm_itemset as itemset;
 pub use cspm_mdl as mdl;
 pub use cspm_nn as nn;
+pub use cspm_store as store;

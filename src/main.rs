@@ -2,9 +2,11 @@
 //!
 //! ```text
 //! cspm mine <graph-file> [--basic] [--data-only] [--top K] [--multi-core krimp|slim]
-//!                        [--threads N] [--full-regen-cap N|none] [--json]
+//!                        [--threads N] [--full-regen-cap N|none] [--store <path>] [--json]
 //! cspm mine --input <dump> [--format pokec|dblp|usflight|native|auto] [mine flags…]
+//! cspm mine --store <path> [mine flags…]
 //! cspm stats <graph-file> [--json]
+//! cspm stats --store <path> [--json]
 //! cspm generate <dblp|dblp-trend|usflight|pokec> <out-file> [--scale tiny|small|paper] [--seed N]
 //! cspm verify <graph-file>
 //! ```
@@ -29,6 +31,13 @@
 //! the candidate-pair count past which `--basic` (full regeneration)
 //! delegates to the incremental policy (`none` disables delegation and
 //! always honours `--basic`; default 10000).
+//!
+//! `--store <path>` makes the session durable (crash-safe snapshot +
+//! delta WAL, [`cspm::store`]): `mine` seeds an empty store from the
+//! given input and checkpoints, or warm-opens a populated one and
+//! re-mines the recovered session; `stats --store` reports store
+//! health — file sizes, generation, WAL records since the last
+//! checkpoint, and how recovery went.
 
 mod jsonfmt;
 
@@ -57,9 +66,11 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   cspm mine <graph-file> [--basic] [--data-only] [--top K] [--multi-core krimp|slim]
-                         [--threads N] [--full-regen-cap N|none] [--json]
+                         [--threads N] [--full-regen-cap N|none] [--store <path>] [--json]
   cspm mine --input <dump> [--format pokec|dblp|usflight|native|auto] [mine flags...]
+  cspm mine --store <path> [mine flags...]
   cspm stats <graph-file> [--json]
+  cspm stats --store <path> [--json]
   cspm generate <dblp|dblp-trend|usflight|pokec> <out-file> [--scale tiny|small|paper] [--seed N]
   cspm verify <graph-file>
 
@@ -73,10 +84,35 @@ mine scheduling knobs (tune speed, never the mined model):
   --full-regen-cap N   delegate --basic to the incremental policy past N
                        initial candidate pairs ('none' disables; default 10000)
 
+durable sessions (crash-safe snapshot + delta WAL, docs/FORMATS.md):
+  --store <path>       mine: persist the session at <path> — an empty store
+                       is seeded from the given graph/--input and
+                       checkpointed; a populated store warm-opens (the
+                       input is then ignored) and re-mines the recovered
+                       session. stats: report store health — file sizes,
+                       generation, WAL records since the last checkpoint,
+                       and how recovery went (clean / tail-truncated /
+                       snapshot-fallback)
+
 real datasets (requires a build with --features real-data):
   --input <dump>       ingest a real dataset dump; parsed graphs are cached
                        in a versioned <dump>.csbin snapshot (docs/FORMATS.md)
   --format <name>      pokec|dblp|usflight|native, or auto-detect (default)";
+
+/// Observer for durable-session runs: mining runs to completion, and
+/// recovery anomalies (truncated WAL tail, snapshot fallback, cold
+/// database rebuilds) surface on stderr instead of vanishing.
+struct WarnToStderr;
+
+impl cspm::core::ProgressObserver for WarnToStderr {
+    fn on_iteration(&mut self, _stat: &cspm::core::IterationStat) -> std::ops::ControlFlow<()> {
+        std::ops::ControlFlow::Continue(())
+    }
+
+    fn on_warning(&mut self, message: &str) {
+        eprintln!("store: warning: {message}");
+    }
+}
 
 fn run(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
@@ -171,12 +207,16 @@ fn mine(args: &[String]) -> Result<(), String> {
     let mut graph_file: Option<&String> = None;
     let mut input: Option<&String> = None;
     let mut format: Option<String> = None;
+    let mut store_path: Option<&String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => json = true,
             "--input" => {
                 input = Some(it.next().ok_or("--input needs a dump path")?);
+            }
+            "--store" => {
+                store_path = Some(it.next().ok_or("--store needs a file path")?);
             }
             "--format" => {
                 format = Some(
@@ -220,18 +260,30 @@ fn mine(args: &[String]) -> Result<(), String> {
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
+    if format.is_some() && input.is_none() {
+        // A format flag on the plain-text path would be silently
+        // ignored — the user almost certainly forgot --input.
+        return Err("--format only applies to --input <dump>".into());
+    }
+    if graph_file.is_some() && input.is_some() {
+        return Err("give either a graph file or --input <dump>, not both".into());
+    }
+    if let Some(store_path) = store_path {
+        return mine_durable(
+            store_path,
+            graph_file,
+            input,
+            format.as_deref(),
+            variant,
+            config,
+            top,
+            json,
+        );
+    }
     let g = match (graph_file, input) {
-        (Some(_), None) if format.is_some() => {
-            // A format flag on the plain-text path would be silently
-            // ignored — the user almost certainly forgot --input.
-            return Err("--format only applies to --input <dump>".into());
-        }
         (Some(path), None) => load(path)?,
         (None, Some(dump)) => ingest_input(dump, format.as_deref().unwrap_or("auto"), json)?,
-        (Some(_), Some(_)) => {
-            return Err("give either a graph file or --input <dump>, not both".into())
-        }
-        (None, None) => return Err("mine needs a graph file or --input <dump>".into()),
+        _ => return Err("mine needs a graph file, --input <dump>, or --store <path>".into()),
     };
     // One-shot CLI run: `cspm::core::mine` is the session API's
     // detached wrapper (build → run, nothing cloned, nothing
@@ -239,9 +291,106 @@ fn mine(args: &[String]) -> Result<(), String> {
     // Both paper variants are scheduling policies of the same session
     // engine.
     let result = cspm::core::mine(&g, variant, config);
+    report_mine(&g, variant, &result, top, json, None);
+    Ok(())
+}
+
+/// The `mine --store` path: the session lives at `store_path` instead
+/// of being one-shot. An empty store is seeded from the given
+/// graph/`--input` dump and checkpointed; a populated one warm-opens
+/// (recovering through any WAL damage) and re-mines the recovered
+/// session, ignoring any input argument.
+#[allow(clippy::too_many_arguments)]
+fn mine_durable(
+    store_path: &str,
+    graph_file: Option<&String>,
+    input: Option<&String>,
+    format: Option<&str>,
+    variant: Variant,
+    config: CspmConfig,
+    top: usize,
+    json: bool,
+) -> Result<(), String> {
+    use cspm::store::DurableSession;
+
+    let note = |line: String| {
+        if json {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
+    };
+    let miner = cspm::core::Miner::from_config(config).variant(variant);
+    let mut durable = DurableSession::open_with(miner, store_path, &mut WarnToStderr)
+        .map_err(|e| format!("cannot open store {store_path}: {e}"))?;
+
+    let (g, result) = if let Some(g) = durable.session().graph().cloned() {
+        if graph_file.is_some() || input.is_some() {
+            note(format!(
+                "store: input ignored — {store_path} already holds a session"
+            ));
+        }
+        note(format!(
+            "store: warm-opened {store_path} (generation {}, {})",
+            durable.store().generation(),
+            durable.recovery()
+        ));
+        if let Some(reason) = durable.db_rebuilt() {
+            note(format!("store: database rebuilt cold ({reason})"));
+        }
+        let result = durable
+            .run_with(&mut WarnToStderr)
+            .map_err(|e| format!("cannot mine stored session: {e}"))?;
+        // Replayed WAL records (and cold rebuilds) fold into a fresh
+        // snapshot so the next open is both warm and replay-free.
+        if durable.store().wal_records() > 0 || durable.db_rebuilt().is_some() {
+            durable
+                .checkpoint()
+                .map_err(|e| format!("cannot checkpoint {store_path}: {e}"))?;
+            note(format!(
+                "store: folded recovered state into generation {}",
+                durable.store().generation()
+            ));
+        }
+        (g, result)
+    } else {
+        let g = match (graph_file, input) {
+            (Some(path), None) => load(path)?,
+            (None, Some(dump)) => ingest_input(dump, format.unwrap_or("auto"), json)?,
+            _ => {
+                return Err(format!(
+                    "store {store_path} is empty; seed it with a graph file or --input <dump>"
+                ))
+            }
+        };
+        let result = durable
+            .mine_with(&g, &mut WarnToStderr)
+            .map_err(|e| format!("cannot persist to {store_path}: {e}"))?;
+        note(format!(
+            "store: seeded {store_path} (generation {})",
+            durable.store().generation()
+        ));
+        (g, result)
+    };
+    report_mine(&g, variant, &result, top, json, Some(&durable));
+    Ok(())
+}
+
+/// Shared tail of every `mine` invocation: the JSON document or the
+/// human-readable report. `durable` adds the `"store"` object under
+/// `--json` so scripted callers can read generation/recovery state off
+/// the same document.
+fn report_mine(
+    g: &AttributedGraph,
+    variant: Variant,
+    result: &CspmResult,
+    top: usize,
+    json: bool,
+    durable: Option<&cspm::store::DurableSession>,
+) {
     if json {
-        println!("{}", mine_json(&g, variant, &result, top));
-        return Ok(());
+        println!("{}", mine_json(g, variant, result, top, durable));
+        return;
     }
     if result.stats.delegated {
         println!(
@@ -260,14 +409,20 @@ fn mine(args: &[String]) -> Result<(), String> {
     println!("{}", ModelSummary::new(&result.db, &result.model));
     println!("\ntop {top} patterns:");
     print!("{}", result.model.format_top(g.attrs(), top));
-    Ok(())
 }
 
 /// The `mine --json` document: graph shape, `RunStats`, `ModelSummary`
 /// (with the compression ratio), and the top `top` patterns. One JSON
 /// object on a single line; shape asserted by `tests/cli.rs` and
-/// validated end-to-end by the CI `real-data` job.
-fn mine_json(g: &AttributedGraph, variant: Variant, result: &CspmResult, top: usize) -> String {
+/// validated end-to-end by the CI `real-data` job. A durable run adds
+/// a `"store"` object (generation, WAL position, recovery outcome).
+fn mine_json(
+    g: &AttributedGraph,
+    variant: Variant,
+    result: &CspmResult,
+    top: usize,
+    durable: Option<&cspm::store::DurableSession>,
+) -> String {
     let summary = ModelSummary::new(&result.db, &result.model);
     let mut j = Json::new();
     j.begin_obj();
@@ -280,6 +435,15 @@ fn mine_json(g: &AttributedGraph, variant: Variant, result: &CspmResult, top: us
         },
     );
     graph_json(&mut j, g);
+    if let Some(d) = durable {
+        store_json(
+            &mut j,
+            d.store().path(),
+            d.stats(),
+            d.recovery(),
+            d.db_rebuilt(),
+        );
+    }
     j.begin_obj_field("run")
         .field_num("initial_dl_bits", result.initial_dl)
         .field_num("final_dl_bits", result.final_dl)
@@ -326,18 +490,54 @@ fn graph_json(j: &mut Json, g: &AttributedGraph) {
         .end_obj();
 }
 
+/// Shared `"store": {…}` fragment: file sizes, checkpoint generation,
+/// WAL records since the last checkpoint, and the recovery outcome of
+/// the open that produced these numbers.
+fn store_json(
+    j: &mut Json,
+    path: &std::path::Path,
+    stats: cspm::store::StoreStats,
+    recovery: &cspm::store::RecoveryOutcome,
+    db_rebuilt: Option<&str>,
+) {
+    let b = j
+        .begin_obj_field("store")
+        .field_str("path", &path.display().to_string())
+        .field_int("snapshot_bytes", stats.snapshot_bytes)
+        .field_int("wal_bytes", stats.wal_bytes)
+        .field_int("generation", stats.generation)
+        .field_int("wal_records", stats.wal_records as u64)
+        .field_str("recovery", recovery.label())
+        .field_str("recovery_detail", &recovery.to_string());
+    if let Some(reason) = db_rebuilt {
+        b.field_str("db_rebuilt", reason);
+    }
+    b.end_obj();
+}
+
 fn stats(args: &[String]) -> Result<(), String> {
     let mut json = false;
     let mut path: Option<&String> = None;
-    for a in args {
+    let mut store_path: Option<&String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => json = true,
+            "--store" => {
+                store_path = Some(it.next().ok_or("--store needs a file path")?);
+            }
             other if !other.starts_with('-') && path.is_none() => path = Some(a),
             other if other.starts_with('-') => return Err(format!("unknown flag '{other}'")),
             other => return Err(format!("unexpected argument '{other}'")),
         }
     }
-    let path = path.ok_or("stats needs a graph file")?;
+    if let Some(store_path) = store_path {
+        if path.is_some() {
+            return Err("give either a graph file or --store <path>, not both".into());
+        }
+        return stats_store(store_path, json);
+    }
+    let path = path.ok_or("stats needs a graph file or --store <path>")?;
     let g = load(path)?;
     if json {
         println!("{}", stats_json(&g));
@@ -366,6 +566,108 @@ fn stats(args: &[String]) -> Result<(), String> {
     println!("most frequent attribute values:");
     for (a, count) in metrics::attribute_histogram(&g).into_iter().take(10) {
         println!("  {:<24} {count}", g.attrs().name(a).unwrap_or("?"));
+    }
+    Ok(())
+}
+
+/// The `stats --store` path: store health instead of graph structure.
+/// Opens the store read-only-in-spirit (recovery may physically trim a
+/// torn WAL tail, exactly as a mine would) and reports file sizes,
+/// generation, WAL position, how recovery went, and the shape of the
+/// recovered graph.
+fn stats_store(store_path: &str, json: bool) -> Result<(), String> {
+    use cspm::store::{RecoveryOutcome, SessionStore};
+
+    let (store, recovered) = SessionStore::open(store_path)
+        .map_err(|e| format!("cannot open store {store_path}: {e}"))?;
+    let s = store.stats();
+    let state = recovered.state.as_ref();
+    let mode = state.and_then(|st| {
+        st.mode.map(|m| match m {
+            CoresetMode::SingleValue => "single-value".to_string(),
+            CoresetMode::Krimp { min_support } => format!("krimp(min_support={min_support})"),
+            CoresetMode::Slim => "slim".to_string(),
+        })
+    });
+    let gain = state.and_then(|st| {
+        st.gain.map(|g| match g {
+            GainPolicy::Total => "total",
+            GainPolicy::DataOnly => "data-only",
+        })
+    });
+    if json {
+        let mut j = Json::new();
+        j.begin_obj();
+        j.field_str("command", "stats");
+        store_json(
+            &mut j,
+            store.path(),
+            s,
+            &recovered.outcome,
+            state.and_then(|st| st.db_note.as_deref()),
+        );
+        if let Some(st) = state {
+            graph_json(&mut j, &st.graph);
+            if let Some(mode) = &mode {
+                j.field_str("coreset_mode", mode);
+            }
+            if let Some(gain) = gain {
+                j.field_str("gain_policy", gain);
+            }
+            j.field_bool("db_section", st.db.is_some());
+            if let Some(db) = &st.db {
+                j.field_int("db_rows", db.row_count() as u64);
+            }
+        }
+        j.end_obj();
+        println!("{}", j.finish());
+        return Ok(());
+    }
+    println!("store: {}", store.path().display());
+    println!(
+        "snapshot: {} bytes (generation {})",
+        s.snapshot_bytes, s.generation
+    );
+    println!(
+        "wal: {} bytes, {} record(s) since last checkpoint",
+        s.wal_bytes, s.wal_records
+    );
+    match &recovered.outcome {
+        o @ (RecoveryOutcome::Fresh | RecoveryOutcome::Clean { .. }) => {
+            println!("recovery: {}", o.label());
+        }
+        o => println!("recovery: {} — {o}", o.label()),
+    }
+    match state {
+        Some(st) => {
+            println!(
+                "graph: {} vertices, {} edges, {} attribute values \
+                 (+{} WAL delta(s) to replay)",
+                st.graph.vertex_count(),
+                st.graph.edge_count(),
+                st.graph.attr_count(),
+                st.deltas.len()
+            );
+            if let (Some(mode), Some(gain)) = (&mode, gain) {
+                println!("config: coreset mode {mode}, gain policy {gain}");
+            }
+            match &st.db {
+                Some(db) => println!("database: {} serialized row(s)", db.row_count()),
+                None => {
+                    let why = st
+                        .db_note
+                        .as_deref()
+                        .unwrap_or("none serialized for this configuration");
+                    println!("database: cold rebuild on open ({why})");
+                }
+            }
+        }
+        None if matches!(recovered.outcome, RecoveryOutcome::Fresh) => {
+            println!("graph: none — the store has never been checkpointed");
+        }
+        None => {
+            println!("graph: unrecoverable — the next successful mine re-seeds the store");
+        }
     }
     Ok(())
 }

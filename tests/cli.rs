@@ -335,6 +335,157 @@ fn stats_json_emits_graph_metrics() {
 }
 
 #[test]
+fn durable_store_seeds_then_warm_opens() {
+    let dir = std::env::temp_dir()
+        .join("cspm-cli-tests")
+        .join("store-roundtrip");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let graph = dir.join("seed.graph");
+    let graph_str = graph.to_str().unwrap();
+    let store = dir.join("session.csps");
+    let store_str = store.to_str().unwrap();
+    cspm(&["generate", "dblp", graph_str, "--scale", "tiny"]);
+
+    // First run seeds the store from the graph file and checkpoints.
+    let (ok, first, _) = cspm(&["mine", graph_str, "--store", store_str, "--top", "2"]);
+    assert!(ok, "seeding run failed: {first}");
+    assert!(first.contains("store: seeded"), "no seed note: {first}");
+    assert!(first.contains("generation 1"), "no generation: {first}");
+    assert!(store.exists(), "snapshot file not created");
+
+    // Second run warm-opens and mines the identical model; the graph
+    // argument is ignored with a note.
+    let (ok, second, _) = cspm(&["mine", graph_str, "--store", store_str, "--top", "2"]);
+    assert!(ok, "warm run failed: {second}");
+    assert!(
+        second.contains("store: warm-opened") && second.contains("(generation 1, clean"),
+        "no warm-open note: {second}"
+    );
+    assert!(second.contains("input ignored"), "no ignore note: {second}");
+    let mined = |s: &str| {
+        s.lines()
+            .skip_while(|l| !l.starts_with("mined "))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(
+        mined(&first),
+        mined(&second),
+        "store must not change the model"
+    );
+
+    // No input at all: the stored session alone is enough.
+    let (ok, third, _) = cspm(&["mine", "--store", store_str, "--top", "2"]);
+    assert!(ok, "store-only run failed: {third}");
+    assert!(!third.contains("input ignored"));
+    assert_eq!(mined(&first), mined(&third));
+
+    // Under --json the store notes move to stderr and the document
+    // gains a "store" object.
+    let (ok, out, stderr) = cspm(&["mine", "--store", store_str, "--json", "--top", "2"]);
+    assert!(ok);
+    assert_eq!(out.trim().lines().count(), 1, "one document on stdout");
+    assert_wellformed_json(&out);
+    for key in [
+        "\"store\":{",
+        "\"snapshot_bytes\":",
+        "\"wal_bytes\":",
+        "\"generation\":1",
+        "\"wal_records\":0",
+        "\"recovery\":\"clean\"",
+        "\"final_dl_bits\":",
+    ] {
+        assert!(out.contains(key), "missing {key} in {out}");
+    }
+    assert!(
+        stderr.contains("store: warm-opened"),
+        "notes not on stderr: {stderr}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stats_store_reports_health_and_survives_damage() {
+    let dir = std::env::temp_dir()
+        .join("cspm-cli-tests")
+        .join("store-stats");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let graph = dir.join("seed.graph");
+    let graph_str = graph.to_str().unwrap();
+    let store = dir.join("session.csps");
+    let store_str = store.to_str().unwrap();
+    cspm(&["generate", "usflight", graph_str, "--scale", "tiny"]);
+
+    // A path that does not exist yet is a fresh (empty) store.
+    let (ok, out, _) = cspm(&["stats", "--store", store_str]);
+    assert!(ok, "fresh stats failed: {out}");
+    assert!(
+        out.contains("never been checkpointed"),
+        "fresh note missing: {out}"
+    );
+
+    let (ok, _, _) = cspm(&["mine", graph_str, "--store", store_str, "--top", "1"]);
+    assert!(ok);
+
+    let (ok, out, _) = cspm(&["stats", "--store", store_str]);
+    assert!(ok, "stats failed: {out}");
+    for needle in [
+        "snapshot: ",
+        "(generation 1)",
+        "wal: ",
+        "0 record(s) since last checkpoint",
+        "recovery: clean",
+        "graph: 40 vertices",
+        "coreset mode single-value",
+        "serialized row(s)",
+    ] {
+        assert!(out.contains(needle), "missing '{needle}' in {out}");
+    }
+
+    let (ok, out, _) = cspm(&["stats", "--store", store_str, "--json"]);
+    assert!(ok);
+    assert_eq!(out.trim().lines().count(), 1);
+    assert_wellformed_json(&out);
+    for key in [
+        "\"command\":\"stats\"",
+        "\"store\":{",
+        "\"generation\":1",
+        "\"wal_records\":0",
+        "\"recovery\":\"clean\"",
+        "\"vertices\":40",
+        "\"db_section\":true",
+        "\"db_rows\":",
+    ] {
+        assert!(out.contains(key), "missing {key} in {out}");
+    }
+
+    // Flip a bit in the snapshot body: stats must report the fallback,
+    // not crash, and a re-mine must re-seed the store.
+    let mut bytes = std::fs::read(&store).unwrap();
+    let at = bytes.len() / 2;
+    bytes[at] ^= 0x10;
+    std::fs::write(&store, &bytes).unwrap();
+    let (ok, out, _) = cspm(&["stats", "--store", store_str]);
+    assert!(ok, "stats on a damaged store must not fail: {out}");
+    assert!(
+        out.contains("recovery: snapshot-fallback") || out.contains("recovery: clean"),
+        "unexpected recovery line: {out}"
+    );
+    let (ok, out, stderr) = cspm(&["mine", graph_str, "--store", store_str, "--top", "1"]);
+    assert!(ok, "re-seeding a damaged store failed: {out} {stderr}");
+
+    // Mixing a graph file with --store under stats is ambiguous.
+    let (ok, _, stderr) = cspm(&["stats", graph_str, "--store", store_str]);
+    assert!(!ok);
+    assert!(stderr.contains("not both"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn helpful_errors() {
     let (ok, _, stderr) = cspm(&[]);
     assert!(!ok);
