@@ -1,0 +1,84 @@
+//! Microbenchmarks for the adaptive posting-row kernels: every
+//! representation pairing (sparse×sparse two-pointer and galloping,
+//! sparse×bitmap word probes, bitmap×bitmap word loops) across a
+//! density × size grid, for all four hot set operations.
+//!
+//! Row shapes are chosen against the store's flip thresholds
+//! (`BITMAP_MIN_LEN` = 128 elements, flip-in at ≥ 1/8 density), so the
+//! pairing in each bench name reflects the layout the store actually
+//! picks. CI runs this with `CSPM_BENCH_JSON` set and uploads the
+//! resulting lines as an artifact next to the engine suite.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use cspm_core::PostingStore;
+
+/// A sorted row of `len` ids spaced `stride` apart starting at `base`.
+/// Density is `1/stride` bits, so `stride` < 8 lands past the bitmap
+/// flip-in threshold for `len` ≥ 128 and `stride` ≥ 16 stays sparse.
+fn row(base: u32, len: usize, stride: u32) -> Vec<u32> {
+    (0..len as u32).map(|i| base + i * stride).collect()
+}
+
+/// The grid: `(pairing, a, b)`. The `b` rows are offset by half a
+/// stride on odd elements so roughly half of each pair intersects —
+/// kernels see real hit/miss mixes, not all-hit or all-miss edges.
+fn grid() -> Vec<(&'static str, Vec<u32>, Vec<u32>)> {
+    let mut cases = Vec::new();
+    for &len in &[512usize, 4096] {
+        let offset =
+            |s: u32| -> Vec<u32> { (0..len as u32).map(|i| i * s + (i % 2) * (s / 2)).collect() };
+        // stride 64 → 1/64 density: sparse. stride 2 → 1/2: bitmap.
+        // stride 8 → exactly the 1/8 flip-in boundary: bitmap.
+        cases.push(("sparse_sparse", row(0, len, 64), offset(64)));
+        cases.push(("sparse_bitmap", row(0, len, 64), offset(2)));
+        cases.push(("bitmap_bitmap", row(0, len, 2), offset(2)));
+        cases.push(("bitmap_boundary", row(0, len, 8), offset(8)));
+    }
+    // ≥8× length skew between two sparse rows: the galloping path.
+    cases.push(("sparse_sparse_skew", row(0, 64, 64), row(0, 4096, 64)));
+    cases
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("posting_kernels");
+    g.sample_size(20);
+    for (pairing, a, b) in grid() {
+        let tag = format!("{pairing}/a{}_b{}", a.len(), b.len());
+        let mut store = PostingStore::new();
+        let (ra, rb) = (store.insert(&a), store.insert(&b));
+
+        g.bench_function(format!("intersect_count/{tag}"), |bench| {
+            bench.iter(|| black_box(&store).intersect_count(ra, rb))
+        });
+        let mut out = Vec::with_capacity(a.len().min(b.len()));
+        g.bench_function(format!("intersect_into/{tag}"), |bench| {
+            bench.iter(|| {
+                black_box(&store).intersect_into(ra, rb, &mut out);
+                out.len()
+            })
+        });
+        // The mutating kernels run on a fresh clone per iteration so
+        // every measurement sees the same starting layout (difference
+        // can demote a bitmap; union can flip a sparse row in).
+        g.bench_function(format!("difference/{tag}"), |bench| {
+            bench.iter_batched(
+                || store.clone(),
+                |mut s| s.difference(ra, black_box(&b)),
+                BatchSize::LargeInput,
+            )
+        });
+        g.bench_function(format!("union_in_place/{tag}"), |bench| {
+            bench.iter_batched(
+                || store.clone(),
+                |mut s| s.union_in_place(ra, black_box(&b)),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -103,7 +103,7 @@ impl MergeWorkload {
         }
         maps.iter()
             .flat_map(|m| m.values())
-            .map(|&r| store.get(r).iter().map(|&v| v as u64).sum::<u64>())
+            .map(|&r| store.positions(r).iter().map(|&v| v as u64).sum::<u64>())
             .sum()
     }
 

@@ -151,6 +151,10 @@ pub struct RunStats {
     pub cancelled: bool,
     /// Wall-clock seconds spent mining (excluding graph construction).
     pub elapsed_secs: f64,
+    /// Final posting-row representation mix (sparse vs bitmap rows) and
+    /// flip counters, captured from the store when the run ends — the
+    /// observability hook for the adaptive-layout density thresholds.
+    pub posting: crate::positions::PostingReprStats,
 }
 
 #[cfg(test)]

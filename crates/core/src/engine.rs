@@ -454,6 +454,7 @@ pub(crate) fn run_loop(
     }
 
     stats.elapsed_secs = started.elapsed().as_secs_f64();
+    stats.posting = db.posting_store().repr_stats();
     CspmResult {
         model: MinedModel::from_db(&db),
         initial_dl,

@@ -30,7 +30,7 @@ use cspm_itemset::{krimp, slim, KrimpConfig, SlimConfig, TransactionDb};
 use cspm_mdl::{xlog2x, StandardCodeTable};
 
 use crate::config::{CoresetMode, GainPolicy};
-use crate::positions::{intersect_count, PostingStore, PostingView, RowId};
+use crate::positions::{PostingPolicy, PostingStore, PostingView, RowId};
 
 /// Index into the coreset registry.
 pub type CoresetId = u32;
@@ -184,8 +184,22 @@ impl std::error::Error for RestoreError {}
 
 impl InvertedDb {
     /// Builds the inverted database from an attributed graph (Step 1 and
-    /// Step 2 of Algorithm 1).
+    /// Step 2 of Algorithm 1), with the default adaptive posting-row
+    /// representation.
     pub fn build(g: &AttributedGraph, mode: CoresetMode, gain_policy: GainPolicy) -> Self {
+        Self::build_with_posting(g, mode, gain_policy, PostingPolicy::default())
+    }
+
+    /// [`Self::build`] with an explicit posting-row representation
+    /// policy. [`PostingPolicy::SparseOnly`] pins the reference layout;
+    /// the equivalence tests and the bench backends use it to prove the
+    /// adaptive store mines bit-identically.
+    pub fn build_with_posting(
+        g: &AttributedGraph,
+        mode: CoresetMode,
+        gain_policy: GainPolicy,
+        posting: PostingPolicy,
+    ) -> Self {
         let mapping = g.mapping_table();
         let st = StandardCodeTable::from_counts(
             (0..g.attr_count())
@@ -231,7 +245,7 @@ impl InvertedDb {
             // Initial rows materialise roughly one position per
             // (edge endpoint, leaf value); the label-pair count is a
             // cheap, same-order lower bound to pre-size the arena.
-            store: PostingStore::with_capacity(g.label_pair_count()),
+            store: PostingStore::with_capacity_and_policy(g.label_pair_count(), posting),
             rows: Vec::new(),
             scratch_common: Vec::new(),
             leafset_coresets: Vec::new(),
@@ -448,12 +462,7 @@ impl InvertedDb {
             let e = a as usize;
             match self.rows[e].get(&leaf) {
                 Some(&row) => {
-                    let existing = self.store.get(row);
-                    let fresh: Vec<VertexId> = vs
-                        .iter()
-                        .copied()
-                        .filter(|v| existing.binary_search(v).is_err())
-                        .collect();
+                    let fresh = self.store.filter_missing(row, &vs);
                     if !fresh.is_empty() {
                         self.store.union_in_place(row, &fresh);
                         self.coreset_freq[e] += fresh.len() as u64;
@@ -704,9 +713,12 @@ impl InvertedDb {
         self.rows.iter().map(HashMap::len).sum()
     }
 
-    /// Positions of row `(e, lid)`, if present.
-    pub fn row_positions(&self, e: CoresetId, lid: LeafsetId) -> Option<&[VertexId]> {
-        self.rows[e as usize].get(&lid).map(|&r| self.store.get(r))
+    /// Positions of row `(e, lid)` as owned sorted ids, if present
+    /// (bitmap rows decode, so a borrowed slice cannot be returned).
+    pub fn row_positions(&self, e: CoresetId, lid: LeafsetId) -> Option<Vec<VertexId>> {
+        self.rows[e as usize]
+            .get(&lid)
+            .map(|&r| self.store.positions(r).into_owned())
     }
 
     /// The flat posting-list arena backing all rows.
@@ -719,11 +731,16 @@ impl InvertedDb {
         self.coreset_freq[e as usize]
     }
 
-    /// Iterates all rows as `(coreset, leafset, positions)`.
-    pub fn iter_rows(&self) -> impl Iterator<Item = (CoresetId, LeafsetId, &[VertexId])> {
+    /// Iterates all rows as `(coreset, leafset, positions)`. Positions
+    /// are always **canonical sorted ids**: sparse rows borrow from the
+    /// arena, bitmap rows decode on the fly — so snapshots and every
+    /// other consumer see one representation-independent format.
+    pub fn iter_rows(
+        &self,
+    ) -> impl Iterator<Item = (CoresetId, LeafsetId, std::borrow::Cow<'_, [VertexId]>)> {
         self.rows.iter().enumerate().flat_map(move |(e, m)| {
             m.iter()
-                .map(move |(&l, &r)| (e as CoresetId, l, self.store.get(r)))
+                .map(move |(&l, &r)| (e as CoresetId, l, self.store.positions(r)))
         })
     }
 
@@ -1031,24 +1048,23 @@ impl GainView<'_> {
         let mut model_delta = 0.0f64;
         let mut merged_any = false;
         for &SharedRow { e, rx, ry, rn } in shared {
-            let px = self.store.get(rx);
-            let py = self.store.get(ry);
-            let existing = rn.map(|r| self.store.get(r));
-            let (xy, grown) = match existing {
+            let (xy, grown) = match rn {
                 // Collision path: need the union row's actual growth.
-                Some(pn) => {
-                    let common = crate::positions::intersect(px, py);
+                Some(r) => {
+                    let common = self.store.intersect(rx, ry);
                     if common.is_empty() {
                         continue;
                     }
-                    let merged_len = pn.len() + common.len() - intersect_count(pn, &common);
+                    let pn_len = self.store.len(r);
+                    let merged_len =
+                        pn_len + common.len() - self.store.intersect_count_slice(r, &common);
                     // Union-row term2 change replaces the fresh-row term.
-                    p2 += xlog2x(pn.len() as f64) - xlog2x(merged_len as f64)
+                    p2 += xlog2x(pn_len as f64) - xlog2x(merged_len as f64)
                         + xlog2x(common.len() as f64);
-                    (common.len() as f64, (merged_len - pn.len()) as f64)
+                    (common.len() as f64, (merged_len - pn_len) as f64)
                 }
                 None => {
-                    let xy = intersect_count(px, py) as f64;
+                    let xy = self.store.intersect_count(rx, ry) as f64;
                     if xy == 0.0 {
                         continue;
                     }
@@ -1056,7 +1072,7 @@ impl GainView<'_> {
                 }
             };
             merged_any = true;
-            let (xe, ye) = (px.len() as f64, py.len() as f64);
+            let (xe, ye) = (self.store.len(rx) as f64, self.store.len(ry) as f64);
             let fe = db.coreset_freq[e as usize] as f64;
             // Eq. 10 (with the exact post-merge coreset frequency).
             p1 += xlog2x(fe) - xlog2x(fe - 2.0 * xy + grown);
@@ -1064,7 +1080,7 @@ impl GainView<'_> {
             p2 += xlog2x(xe) + xlog2x(ye) - (xlog2x(xe - xy) + xlog2x(ye - xy) + xlog2x(xy));
             if db.gain_policy == GainPolicy::Total {
                 let code_e = db.coresets[e as usize].code_len;
-                if existing.is_none() {
+                if rn.is_none() {
                     model_delta += union_st_cost + code_e;
                 }
                 if xy == xe {
@@ -1302,18 +1318,18 @@ mod tests {
         let (ca, cb, cc) = (cid(&db, at.a), cid(&db, at.b), cid(&db, at.c));
         let (la, lb, lc) = (lid(&db, at.a), lid(&db, at.b), lid(&db, at.c));
         // Coreset {c} has leaf {a} at v2, v3 (blue record of Fig. 2(b)).
-        assert_eq!(db.row_positions(cc, la), Some(&[1u32, 2][..]));
+        assert_eq!(db.row_positions(cc, la).as_deref(), Some(&[1u32, 2][..]));
         // Coreset {a}: leaf {a} at v1 (nbr v2), v2 (nbr v1), v5 — wait v5's
         // nbrs are v3{c}, v4{b}: no a. v1 nbrs v2{a,c}: yes. v2 nbr v1{a}.
-        assert_eq!(db.row_positions(ca, la), Some(&[0u32, 1][..]));
+        assert_eq!(db.row_positions(ca, la).as_deref(), Some(&[0u32, 1][..]));
         // Coreset {a}: leaf {b} at v1 (nbr v4) and v5 (nbr v4).
-        assert_eq!(db.row_positions(ca, lb), Some(&[0u32, 4][..]));
+        assert_eq!(db.row_positions(ca, lb).as_deref(), Some(&[0u32, 4][..]));
         // Coreset {a}: leaf {c} at v1 (nbr v2/v3) and v5 (nbr v3).
-        assert_eq!(db.row_positions(ca, lc), Some(&[0u32, 4][..]));
+        assert_eq!(db.row_positions(ca, lc).as_deref(), Some(&[0u32, 4][..]));
         // Coreset {b}: leaf {b} at v4 (nbr v5{a,b}) and v5 (nbr v4{b}).
-        assert_eq!(db.row_positions(cb, lb), Some(&[3u32, 4][..]));
+        assert_eq!(db.row_positions(cb, lb).as_deref(), Some(&[3u32, 4][..]));
         // Coreset {b}: leaf {c} at v5 only (nbr v3{c}).
-        assert_eq!(db.row_positions(cb, lc), Some(&[4u32][..]));
+        assert_eq!(db.row_positions(cb, lc).as_deref(), Some(&[4u32][..]));
     }
 
     #[test]
@@ -1341,13 +1357,13 @@ mod tests {
         let outcome = db.merge(lb, lc);
         // Coreset {a}: both rows were {v1, v5} — totally merged (case 2).
         let n = outcome.new_leafset;
-        assert_eq!(db.row_positions(ca, n), Some(&[0u32, 4][..]));
+        assert_eq!(db.row_positions(ca, n).as_deref(), Some(&[0u32, 4][..]));
         assert_eq!(db.row_positions(ca, lb), None);
         assert_eq!(db.row_positions(ca, lc), None);
         // Coreset {b}: common position {v5}; ({b},{c}) disappears, the
         // row for leafset {b} keeps {v4} (case 3) — Fig. 4.
-        assert_eq!(db.row_positions(cb, n), Some(&[4u32][..]));
-        assert_eq!(db.row_positions(cb, lb), Some(&[3u32][..]));
+        assert_eq!(db.row_positions(cb, n).as_deref(), Some(&[4u32][..]));
+        assert_eq!(db.row_positions(cb, lb).as_deref(), Some(&[3u32][..]));
         assert_eq!(db.row_positions(cb, lc), None);
         // {c} no longer appears under any coreset; {b} survives at {b}
         // and at {c} (v3's neighbour v5 carries b).

@@ -267,7 +267,7 @@ impl DbSection {
         let mut section = Self::default();
         for (e, l, positions) in rows {
             let start = section.positions.len();
-            section.positions.extend_from_slice(positions);
+            section.positions.extend_from_slice(&positions);
             section.rows.push((e, l, start, section.positions.len()));
         }
         section

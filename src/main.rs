@@ -454,6 +454,22 @@ fn mine_json(
         .field_bool("delegated", result.stats.delegated)
         .field_bool("cancelled", result.stats.cancelled)
         .field_num("elapsed_secs", result.stats.elapsed_secs)
+        .field_int(
+            "posting_sparse_rows",
+            result.stats.posting.sparse_rows as u64,
+        )
+        .field_int(
+            "posting_bitmap_rows",
+            result.stats.posting.bitmap_rows as u64,
+        )
+        .field_int(
+            "posting_flips_to_bitmap",
+            result.stats.posting.flips_to_bitmap,
+        )
+        .field_int(
+            "posting_flips_to_sparse",
+            result.stats.posting.flips_to_sparse,
+        )
         .end_obj();
     j.begin_obj_field("model")
         .field_int("n_astars", summary.n_astars as u64)
@@ -691,6 +707,15 @@ fn stats_json(g: &AttributedGraph) -> String {
     j.field_num("mean_labels_per_vertex", g.mean_labels_per_vertex());
     j.field_num("attribute_homophily", metrics::attribute_homophily(g));
     j.field_num("mean_clustering", metrics::mean_clustering(g));
+    // Posting-row representation mix of the pristine inverted database:
+    // how many rows the adaptive density thresholds send to bitmaps on
+    // this dataset, before any merge traffic.
+    let db = cspm::core::InvertedDb::build(g, CoresetMode::SingleValue, GainPolicy::Total);
+    let p = db.posting_store().repr_stats();
+    j.begin_obj_field("posting")
+        .field_int("sparse_rows", p.sparse_rows as u64)
+        .field_int("bitmap_rows", p.bitmap_rows as u64)
+        .end_obj();
     j.begin_arr_field("top_attribute_values");
     for (a, count) in metrics::attribute_histogram(g).into_iter().take(10) {
         j.begin_obj()

@@ -282,6 +282,10 @@ fn mine_json_emits_one_machine_readable_document() {
         "\"pruned_pairs\":",
         "\"delegated\":false",
         "\"cancelled\":false",
+        "\"posting_sparse_rows\":",
+        "\"posting_bitmap_rows\":",
+        "\"posting_flips_to_bitmap\":",
+        "\"posting_flips_to_sparse\":",
         "\"n_astars\":",
         "\"n_coresets\":",
         "\"mean_leafset_size\":",
@@ -323,6 +327,8 @@ fn stats_json_emits_graph_metrics() {
         "\"degree\":{",
         "\"attribute_homophily\":",
         "\"mean_clustering\":",
+        "\"posting\":{\"sparse_rows\":",
+        "\"bitmap_rows\":",
         "\"top_attribute_values\":[",
     ] {
         assert!(out.contains(key), "missing {key} in {out}");

@@ -3,10 +3,11 @@
 //! the flat posting-list store must behave exactly like the reference
 //! sorted-slice algebra.
 
+use cspm::core::engine::run_on_db;
 use cspm::core::positions::{difference_inplace, intersect, intersect_count, union};
 use cspm::core::{
-    cspm_basic, cspm_partial, mine, verify_lossless, CspmConfig, GainPolicy, PostingStore,
-    SchedulePolicy, Variant,
+    cspm_basic, cspm_partial, mine, verify_lossless, CoresetMode, CspmConfig, GainPolicy,
+    InvertedDb, PostingPolicy, PostingStore, SchedulePolicy, Variant,
 };
 use cspm::datasets::{planted_astars, PlantedConfig};
 use cspm::graph::fixtures::paper_example;
@@ -174,6 +175,116 @@ fn arb_positions() -> impl Strategy<Value = Vec<u32>> {
     })
 }
 
+/// Strategy: a sorted, duplicate-free row whose shape straddles the
+/// adaptive store's representation thresholds. Three regimes:
+/// short sparse rows (empty / singleton included), long-but-diffuse
+/// rows below the 1/8 flip-in density, and tight dense rows that the
+/// store lays out as bitmaps. Lengths cross `BITMAP_MIN_LEN` (128) in
+/// every regime, so cases land on both sides of the flip.
+fn arb_mixed_row() -> impl Strategy<Value = Vec<u32>> {
+    (
+        0u32..3,
+        0u32..3,
+        proptest::collection::vec(0u32..600, 0..400),
+    )
+        .prop_map(|(kind, base_block, mut v)| {
+            match kind {
+                // Sparse by length: at most a handful of ids.
+                0 => v.truncate(5),
+                // Sparse by density: spread the ids far apart.
+                1 => v.iter_mut().for_each(|x| *x *= 64),
+                // Dense: ids stay packed in 0..600 — past ~128 elements
+                // this crosses the flip-in threshold.
+                _ => {}
+            }
+            // Vary the block base so bitmap windows do not all start
+            // at word 0 (exercises base-relative word addressing).
+            v.iter_mut().for_each(|x| *x += base_block * 512);
+            v.sort_unstable();
+            v.dedup();
+            v
+        })
+}
+
+/// A planted instance whose initial rows are long and tightly packed
+/// (pattern occurrences get consecutive vertex ids), so the adaptive
+/// store lays some of them out as bitmaps from the first insert.
+fn dense_planted() -> cspm::graph::AttributedGraph {
+    let (g, _) = planted_astars(
+        &[
+            (&["doctor"], &["flu", "fever"]),
+            (&["airport"], &["delay", "storm"]),
+        ],
+        PlantedConfig {
+            occurrences_per_pattern: 150,
+            background_vertices: 60,
+            background_attrs: 10,
+            noise_labels_per_vertex: 0.3,
+            seed: 19,
+        },
+    );
+    g
+}
+
+/// The adaptive posting layout is a pure representation change: mining
+/// on a `SparseOnly` store and on the default `Adaptive` store must be
+/// bit-identical — same merges, same final DL, same evaluation and
+/// pruning counts — at every thread count and under both policies.
+#[test]
+fn adaptive_and_sparse_only_stores_mine_bit_identically() {
+    let g = dense_planted();
+    // The fixture must actually exercise the bitmap kernels, not just
+    // trivially agree sparse-vs-sparse.
+    let probe = InvertedDb::build_with_posting(
+        &g,
+        CoresetMode::SingleValue,
+        GainPolicy::Total,
+        PostingPolicy::Adaptive,
+    );
+    assert!(
+        probe.posting_store().repr_stats().bitmap_rows > 0,
+        "fixture too diffuse: no bitmap rows in the initial database"
+    );
+    for variant in [Variant::Basic, Variant::Partial] {
+        for gain_policy in [GainPolicy::Total, GainPolicy::DataOnly] {
+            for threads in [1usize, 4] {
+                let config = CspmConfig {
+                    gain_policy,
+                    ..Default::default()
+                }
+                .with_threads(threads);
+                let run = |posting| {
+                    run_on_db(
+                        InvertedDb::build_with_posting(
+                            &g,
+                            config.coreset_mode,
+                            config.gain_policy,
+                            posting,
+                        ),
+                        variant.policy(),
+                        config,
+                    )
+                };
+                let sparse = run(PostingPolicy::SparseOnly);
+                let adaptive = run(PostingPolicy::Adaptive);
+                assert_eq!(
+                    sparse.final_dl, adaptive.final_dl,
+                    "{variant:?}/{gain_policy:?} DL diverged at {threads} threads"
+                );
+                assert_eq!(sparse.merges, adaptive.merges);
+                assert_eq!(
+                    sparse.stats.total_gain_evals,
+                    adaptive.stats.total_gain_evals
+                );
+                assert_eq!(sparse.stats.pruned_pairs, adaptive.stats.pruned_pairs);
+                assert_eq!(sparse.stats.posting.bitmap_rows, 0);
+                assert_eq!(sparse.stats.posting.flips_to_bitmap, 0);
+                assert!(verify_lossless(&g, &adaptive.db).is_empty());
+            }
+        }
+    }
+}
+
 proptest! {
     /// `PostingStore` intersection agrees with the reference slice
     /// algebra of `positions.rs`.
@@ -247,6 +358,69 @@ proptest! {
         let rd = store.insert(&cut);
         prop_assert_eq!(store.get(rd), cut.as_slice());
         prop_assert_eq!(store.get(rc), c.as_slice());
+    }
+
+    /// Every adaptive kernel pairing — sparse×sparse (galloping and
+    /// two-pointer), sparse×bitmap on either side, bitmap×bitmap —
+    /// agrees with the reference sorted-slice algebra. Rows come from
+    /// [`arb_mixed_row`], which straddles the flip thresholds and
+    /// includes empty rows and singletons; read-only probes run first,
+    /// then the mutating ops (difference may demote a bitmap, union may
+    /// flip a sparse row in or regrow a bitmap window).
+    #[test]
+    fn adaptive_kernels_match_reference_algebra(
+        a in arb_mixed_row(),
+        b in arb_mixed_row(),
+        c in arb_mixed_row(),
+    ) {
+        let mut store = PostingStore::new();
+        let ra = store.insert(&a);
+        let rb = store.insert(&b);
+        // Read-only kernels against pristine rows.
+        let mut out = Vec::new();
+        store.intersect_into(ra, rb, &mut out);
+        prop_assert_eq!(&out, &intersect(&a, &b));
+        prop_assert_eq!(store.intersect_count(ra, rb), intersect_count(&a, &b));
+        prop_assert_eq!(store.intersect(ra, rb), intersect(&a, &b));
+        prop_assert_eq!(store.intersect_count_slice(ra, &b), intersect_count(&a, &b));
+        let got_a = store.positions(ra).into_owned();
+        prop_assert_eq!(&got_a, &a);
+        let absent: Vec<u32> =
+            c.iter().copied().filter(|x| a.binary_search(x).is_err()).collect();
+        prop_assert_eq!(store.filter_missing(ra, &c), absent);
+        // Mutating kernels: difference on a, union on b, both vs c.
+        let mut ref_a = a.clone();
+        difference_inplace(&mut ref_a, &c);
+        prop_assert_eq!(store.difference(ra, &c), ref_a.len());
+        let shrunk_a = store.positions(ra).into_owned();
+        prop_assert_eq!(&shrunk_a, &ref_a);
+        let ref_b = union(&b, &c);
+        prop_assert_eq!(store.union_in_place(rb, &c), ref_b.len());
+        let grown_b = store.positions(rb).into_owned();
+        prop_assert_eq!(&grown_b, &ref_b);
+        prop_assert_eq!(store.live_len(), ref_a.len() + ref_b.len());
+    }
+
+    /// The same traffic on a `SparseOnly` store yields identical
+    /// contents — the policy changes layout, never results — and never
+    /// allocates a bitmap row.
+    #[test]
+    fn sparse_only_policy_matches_adaptive_contents(
+        a in arb_mixed_row(),
+        b in arb_mixed_row(),
+    ) {
+        let mut adaptive = PostingStore::new();
+        let mut sparse = PostingStore::with_capacity_and_policy(2, PostingPolicy::SparseOnly);
+        let (aa, ab) = (adaptive.insert(&a), adaptive.insert(&b));
+        let (sa, sb) = (sparse.insert(&a), sparse.insert(&b));
+        prop_assert_eq!(adaptive.union_in_place(aa, &b), sparse.union_in_place(sa, &b));
+        prop_assert_eq!(adaptive.difference(ab, &a), sparse.difference(sb, &a));
+        let (ua, ub) = (adaptive.positions(aa).into_owned(), adaptive.positions(ab).into_owned());
+        prop_assert_eq!(ua.as_slice(), sparse.get(sa));
+        prop_assert_eq!(ub.as_slice(), sparse.get(sb));
+        let stats = sparse.repr_stats();
+        prop_assert_eq!(stats.bitmap_rows, 0);
+        prop_assert_eq!(stats.flips_to_bitmap, 0);
     }
 
     /// Per-policy engine guarantees on small random graphs: runs are

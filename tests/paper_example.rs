@@ -34,7 +34,7 @@ fn fig2_mapping_table_and_inverted_database() {
         .into_iter()
         .find(|&l| db.leafset_items(l) == [at.a])
         .unwrap();
-    assert_eq!(db.row_positions(cc, la), Some(&[1u32, 2][..]));
+    assert_eq!(db.row_positions(cc, la).as_deref(), Some(&[1u32, 2][..]));
 }
 
 #[test]
