@@ -726,6 +726,40 @@ impl InvertedDb {
         &self.store
     }
 
+    /// Estimated resident bytes of the database: the posting arena plus
+    /// the structures that scale with coresets/leafsets (row maps,
+    /// coreset position lists, the reverse leafset index). Constant-size
+    /// bookkeeping is ignored — this feeds a daemon's eviction budget,
+    /// where only graph-proportional terms matter.
+    pub fn approx_bytes(&self) -> usize {
+        const MAP_ENTRY: usize = 48; // HashMap control + (key, value) slot, amortised
+        let coresets: usize = self
+            .coresets
+            .iter()
+            .map(|c| {
+                std::mem::size_of_val(c.items.as_slice())
+                    + std::mem::size_of_val(c.positions.as_slice())
+            })
+            .sum();
+        let leafsets: usize = self
+            .leafsets
+            .iter()
+            .map(|l| std::mem::size_of_val(l.as_slice()))
+            .sum();
+        let rows: usize = self.rows.iter().map(|m| m.len() * MAP_ENTRY).sum();
+        let index: usize = self
+            .leafset_index
+            .keys()
+            .map(|k| MAP_ENTRY + std::mem::size_of_val(k.as_slice()))
+            .sum();
+        let reverse: usize = self
+            .leafset_coresets
+            .iter()
+            .map(|v| std::mem::size_of_val(v.as_slice()))
+            .sum();
+        self.store.approx_bytes() + coresets + leafsets + rows + index + reverse
+    }
+
     /// `c_j` of a coreset: Σ fL of its rows.
     pub fn coreset_freq(&self, e: CoresetId) -> u64 {
         self.coreset_freq[e as usize]

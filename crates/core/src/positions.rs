@@ -1149,6 +1149,23 @@ impl PostingStore {
         self.live_elems
     }
 
+    /// Estimated resident bytes: the arena payload plus slot metadata
+    /// and free-list entries. Capacities, not lengths — a daemon's
+    /// memory budget cares what the allocator holds, not what is live.
+    pub fn approx_bytes(&self) -> usize {
+        let spans: usize = self
+            .free_spans
+            .iter()
+            .chain(self.free_blocks.iter())
+            .map(|class| class.capacity() * std::mem::size_of::<(usize, usize)>())
+            .sum();
+        self.data.capacity() * std::mem::size_of::<VertexId>()
+            + self.slots.capacity() * std::mem::size_of::<Slot>()
+            + self.free_slots.capacity() * std::mem::size_of::<u32>()
+            + self.scratch.capacity() * std::mem::size_of::<VertexId>()
+            + spans
+    }
+
     /// Σ arena units in use by live rows: sparse lengths plus bitmap
     /// words. This — not [`Self::live_len`] — is what fragmentation is
     /// measured against.

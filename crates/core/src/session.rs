@@ -345,6 +345,14 @@ impl MiningSession {
         }
     }
 
+    /// Estimated resident bytes of the retained graph + pristine
+    /// database (0 when unloaded). This is what a serving daemon's
+    /// memory budget counts; see [`crate::registry`].
+    pub fn approx_bytes(&self) -> usize {
+        self.graph.as_ref().map_or(0, AttributedGraph::approx_bytes)
+            + self.pristine.as_ref().map_or(0, InvertedDb::approx_bytes)
+    }
+
     /// Cold mine: loads `g` and runs the merge loop to convergence.
     /// Retains the warm state for later [`Self::apply_delta`] /
     /// [`Self::run_with`] calls.
@@ -515,6 +523,24 @@ impl MiningSession {
         let db = self.pristine.take()?;
         self.graph = None;
         Some(run_loop(db, self.policy, self.config, &mut RunToCompletion))
+    }
+}
+
+/// A resident session is exactly what [`crate::registry`]'s budget
+/// wants to manage: its bytes are graph + pristine database, pressure
+/// is arena fragmentation, and compaction is the session's own exact
+/// arena repack (which never changes mined output).
+impl crate::registry::ResidentFootprint for MiningSession {
+    fn approx_bytes(&self) -> usize {
+        MiningSession::approx_bytes(self)
+    }
+
+    fn fragmentation(&self) -> f64 {
+        MiningSession::fragmentation(self)
+    }
+
+    fn compact(&mut self) {
+        self.compact_now();
     }
 }
 

@@ -151,7 +151,7 @@ pub enum DeltaVertex {
 /// base graph's interner at [`Self::apply`] time, exactly like
 /// [`SnapshotSequence::union_graph`] reconciles snapshots, so the same
 /// delta can be applied to differently-interned bases.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct GraphDelta {
     /// Attribute values to intern up front, in order, before any
     /// vertex or label is processed — pins interning order (and keeps

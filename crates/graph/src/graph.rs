@@ -87,6 +87,31 @@ impl AttributedGraph {
         &self.attrs
     }
 
+    /// Estimated resident bytes: adjacency + label payloads (with their
+    /// per-vertex `Vec` headers) and the interned attribute names. Feeds
+    /// a serving daemon's memory budget, so it tracks what scales with
+    /// the graph rather than exact allocator truth.
+    pub fn approx_bytes(&self) -> usize {
+        const VEC_HEADER: usize = std::mem::size_of::<Vec<u32>>();
+        let adjacency: usize = self
+            .adjacency
+            .iter()
+            .map(|n| VEC_HEADER + n.capacity() * std::mem::size_of::<VertexId>())
+            .sum();
+        let labels: usize = self
+            .labels
+            .iter()
+            .map(|l| VEC_HEADER + l.capacity() * std::mem::size_of::<AttrId>())
+            .sum();
+        // Interner: each name is stored once plus ~two index entries.
+        let attrs: usize = self
+            .attrs
+            .iter()
+            .map(|(_, name)| name.len() + 2 * VEC_HEADER)
+            .sum();
+        adjacency + labels + attrs
+    }
+
     /// Sorted neighbours of `v`.
     ///
     /// # Panics

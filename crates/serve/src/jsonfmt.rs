@@ -1,7 +1,9 @@
-//! Minimal hand-rolled JSON emission for `--json` CLI output.
+//! Minimal hand-rolled JSON emission — the writer half of the wire
+//! format (the parser half lives in [`crate::json`]).
 //!
-//! The workspace builds offline (no serde); the machine-readable CLI
-//! surface is small and flat, so a tiny push-down writer is all that is
+//! Grown from the CLI's `--json` output and now shared by the daemon
+//! protocol: the workspace builds offline (no serde), and both surfaces
+//! are small and flat, so a tiny push-down writer is all that is
 //! needed. Strings are escaped per RFC 8259; non-finite floats (which
 //! JSON cannot represent) serialise as `null`.
 
@@ -74,6 +76,15 @@ impl Json {
         self
     }
 
+    /// A bare `"value"` array element with escaping.
+    pub fn item_str(&mut self, value: &str) -> &mut Self {
+        self.pre_value();
+        self.out.push('"');
+        escape_into(value, &mut self.out);
+        self.out.push('"');
+        self
+    }
+
     /// `"key": "value"` with escaping.
     pub fn field_str(&mut self, key: &str, value: &str) -> &mut Self {
         self.key(key);
@@ -127,7 +138,7 @@ fn push_f64(value: f64, out: &mut String) {
     }
 }
 
-fn escape_into(s: &str, out: &mut String) {
+pub(crate) fn escape_into(s: &str, out: &mut String) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),

@@ -1,0 +1,44 @@
+//! Mining-as-a-service: the `cspm serve` daemon and its wire protocol.
+//!
+//! This crate turns the session stack into a long-running multi-tenant
+//! server (the ROADMAP's "millions of users" shape): many named
+//! sessions stay resident, accept graph deltas, and re-mine warm, over
+//! a line-delimited JSON protocol on a Unix socket.
+//!
+//! | Module | Role |
+//! |---|---|
+//! | [`jsonfmt`] | push-down JSON writer (shared with the CLI's `--json` output) |
+//! | [`json`] | defensive JSON parser: typed errors with byte offsets, depth-capped |
+//! | [`proto`] | request/response grammar, typed [`proto::ErrorCode`]s, delta decoding |
+//! | [`server`] | listener + connection loop, tenant registry, worker pool, eviction |
+//!
+//! The protocol grammar is documented normatively in `docs/FORMATS.md`
+//! §7. The load-driver benchmark lives in `cspm-bench` (`bench_serve`);
+//! the CLI front-ends (`cspm serve`, `cspm client`) in the root crate.
+//!
+//! # Guarantees
+//!
+//! - **Bit identity:** a mine through the daemon returns the same
+//!   `final_dl_bits` as one-shot `cspm mine` on the same graph — the
+//!   daemon adds routing, never arithmetic.
+//! - **Robustness:** malformed lines, unknown ops, oversized frames
+//!   (bounded memory even mid-line), and bad deltas each produce one
+//!   typed error line; the connection and every other tenant keep
+//!   working. A panicking mine surfaces as an `internal` error, not a
+//!   dead daemon.
+//! - **Deadlines:** `mine` requests carry `deadline_ms`, enforced via
+//!   the engine's cooperative cancellation; expiry leaves the tenant's
+//!   warm state untouched.
+//! - **Memory budget:** under `--mem-budget` pressure the daemon first
+//!   compacts fragmented posting arenas, then evicts idle tenants
+//!   LRU-first — checkpointing durable ones so re-open is warm.
+
+pub mod json;
+pub mod jsonfmt;
+pub mod proto;
+pub mod server;
+
+pub use json::Value;
+pub use jsonfmt::Json;
+pub use proto::{ErrorCode, ProtoError, Request, MAX_FRAME};
+pub use server::{dl_bits, Server, ServerConfig};

@@ -1,0 +1,946 @@
+//! The daemon: Unix-socket listener, connection loop, and the
+//! multi-tenant dispatch behind `cspm serve`.
+//!
+//! One thread per connection reads request lines (bounded by
+//! [`MAX_FRAME`] even mid-line, so a hostile client cannot balloon the
+//! process) and answers one response line each. Mining runs on a shared
+//! [`WorkerPool`] sized by `--threads` — connections are cheap, CPU is
+//! the bounded resource — with per-request deadlines enforced through
+//! the engine's own [`ProgressObserver`] cancellation: an expired
+//! deadline answers `deadline_exceeded` and leaves the tenant's warm
+//! state untouched (mining always works on a clone of the pristine
+//! database).
+//!
+//! Tenants live in a [`SessionRegistry`] behind one mutex; each tenant
+//! is its own `Arc<Mutex<Tenant>>`, so the registry lock is held only
+//! for lookups while a mine holds just its tenant. With `--store-dir`
+//! every tenant is a [`DurableSession`] checkpointed at
+//! `<store-dir>/<name>.csps`; the memory budget then degrades gracefully
+//! — under pressure the registry first compacts fragmented arenas, then
+//! evicts idle tenants LRU-first, checkpointing durable ones so the
+//! next `open` is a warm restore instead of a cold rebuild.
+//!
+//! Shutdown (SIGTERM/SIGINT via [`Server::run_until_signalled`], an
+//! in-band `shutdown` op, or [`Server::stop`]) drains: the accept
+//! loop stops, connection threads notice within their read-poll
+//! interval, every durable tenant is checkpointed, and the socket file
+//! is removed.
+
+use std::io::{self, BufRead, BufReader, ErrorKind, Write};
+use std::ops::ControlFlow;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use cspm_core::pool::WorkerPool;
+use cspm_core::registry::{ResidentFootprint, SessionRegistry};
+use cspm_core::{CspmResult, IterationStat, Miner, MiningSession, ProgressObserver, SessionError};
+use cspm_graph::dynamic::GraphDelta;
+use cspm_graph::{read_graph, AttributedGraph};
+use cspm_store::{Durable, DurableError, DurableSession};
+
+use crate::jsonfmt::Json;
+use crate::proto::{parse_request, ErrorCode, ProtoError, Request, MAX_FRAME};
+
+/// How often blocked reads and the accept loop re-check the shutdown
+/// flag. Bounds both shutdown latency and idle wakeup rate.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Configuration for one daemon instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Unix-socket path to listen on (created at bind, removed at
+    /// shutdown; a stale file from a dead daemon is replaced).
+    pub socket: PathBuf,
+    /// When set, every tenant is durable: checkpointed at
+    /// `<store_dir>/<name>.csps`, warm-openable after eviction/restart.
+    pub store_dir: Option<PathBuf>,
+    /// Worker-pool size for mining requests (`0` = 1). Engine-internal
+    /// scoring stays single-threaded per run — across-tenant
+    /// parallelism is what a daemon wants on shared hardware.
+    pub threads: usize,
+    /// Resident-memory budget in bytes; exceeded → compact, then evict
+    /// idle tenants LRU-first. `None` = unbounded.
+    pub mem_budget: Option<usize>,
+    /// Fragmentation ratio above which budget pressure compacts a
+    /// session's arena before considering eviction.
+    pub compact_above: f64,
+}
+
+impl ServerConfig {
+    pub fn new(socket: impl Into<PathBuf>) -> Self {
+        Self {
+            socket: socket.into(),
+            store_dir: None,
+            threads: 1,
+            mem_budget: None,
+            compact_above: 2.0,
+        }
+    }
+}
+
+/// One resident tenant: an in-memory session, or a durable one bound to
+/// its checkpoint file under `--store-dir`.
+enum Tenant {
+    Mem(Box<MiningSession>),
+    Durable(Box<DurableSession>),
+}
+
+impl Tenant {
+    fn session(&self) -> &MiningSession {
+        match self {
+            Tenant::Mem(s) => s,
+            Tenant::Durable(d) => d.session(),
+        }
+    }
+
+    fn is_durable(&self) -> bool {
+        matches!(self, Tenant::Durable(_))
+    }
+
+    fn load(&mut self, g: &AttributedGraph) -> Result<(), ProtoError> {
+        match self {
+            Tenant::Mem(s) => {
+                s.load(g);
+                Ok(())
+            }
+            Tenant::Durable(d) => d.load(g).map_err(durable_err),
+        }
+    }
+
+    fn stage_delta(&mut self, delta: &GraphDelta) -> Result<cspm_core::DeltaStats, ProtoError> {
+        match self {
+            Tenant::Mem(s) => s.stage_delta(delta).map_err(session_err),
+            Tenant::Durable(d) => d.stage_delta(delta).map_err(durable_err),
+        }
+    }
+
+    fn run_with(&mut self, obs: &mut dyn ProgressObserver) -> Result<CspmResult, ProtoError> {
+        match self {
+            Tenant::Mem(s) => s.run_with(obs).map_err(session_err),
+            Tenant::Durable(d) => d.run_with(obs).map_err(durable_err),
+        }
+    }
+
+    /// Checkpoints a durable tenant; `Ok(false)` for in-memory ones.
+    fn checkpoint(&mut self) -> Result<bool, ProtoError> {
+        match self {
+            Tenant::Mem(_) => Ok(false),
+            Tenant::Durable(d) => d.checkpoint().map(|()| true).map_err(durable_err),
+        }
+    }
+}
+
+impl ResidentFootprint for Tenant {
+    fn approx_bytes(&self) -> usize {
+        self.session().approx_bytes()
+    }
+
+    fn fragmentation(&self) -> f64 {
+        self.session().fragmentation()
+    }
+
+    fn compact(&mut self) {
+        match self {
+            Tenant::Mem(s) => s.compact_now(),
+            Tenant::Durable(d) => d.compact_now(),
+        }
+    }
+}
+
+fn session_err(e: SessionError) -> ProtoError {
+    match e {
+        SessionError::Empty | SessionError::NoGraph => ProtoError::new(
+            ErrorCode::Internal,
+            format!("session in unexpected state: {e}"),
+        ),
+        SessionError::Delta { index, source } => ProtoError::new(
+            ErrorCode::BadDelta,
+            format!("delta {index} does not apply: {source}"),
+        ),
+    }
+}
+
+fn durable_err(e: DurableError) -> ProtoError {
+    match e {
+        DurableError::Session(e) => session_err(e),
+        DurableError::Store(e) => ProtoError::new(ErrorCode::Store, e.to_string()),
+    }
+}
+
+/// Request counters exposed by the daemon-wide `stats` op.
+#[derive(Debug, Default)]
+struct Counters {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    opens: AtomicU64,
+    deltas: AtomicU64,
+    mines: AtomicU64,
+    deadline_hits: AtomicU64,
+    evictions: AtomicU64,
+    pressure_compactions: AtomicU64,
+}
+
+impl Counters {
+    fn bump(&self, counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// State shared by every connection thread.
+struct Shared {
+    registry: Mutex<SessionRegistry<Tenant>>,
+    pool: WorkerPool,
+    config: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+    counters: Counters,
+}
+
+impl Shared {
+    fn miner(&self) -> Miner {
+        // One scoring thread per run: the pool provides across-tenant
+        // parallelism, and nested fan-out would oversubscribe the host.
+        Miner::new().threads(1)
+    }
+
+    fn store_path(&self, name: &str) -> Option<PathBuf> {
+        self.config
+            .store_dir
+            .as_ref()
+            .map(|dir| dir.join(format!("{name}.csps")))
+    }
+
+    /// A fresh tenant for `name`: durable when a store dir is
+    /// configured, plain otherwise.
+    fn new_tenant(&self, name: &str) -> Result<Tenant, ProtoError> {
+        match self.store_path(name) {
+            Some(path) => {
+                let ds = self.miner().durable(&path).map_err(|e| {
+                    ProtoError::new(ErrorCode::Store, format!("open {}: {e}", path.display()))
+                })?;
+                Ok(Tenant::Durable(Box::new(ds)))
+            }
+            None => Ok(Tenant::Mem(Box::new(self.miner().build()))),
+        }
+    }
+
+    /// Applies the memory budget after a mutating request. Durable
+    /// tenants checkpoint before eviction (and veto it if the
+    /// checkpoint fails — dropping un-persisted state would lose data).
+    fn enforce_budget(&self) {
+        let Some(budget) = self.config.mem_budget else {
+            return;
+        };
+        let mut registry = lock_registry(&self.registry);
+        let outcome = registry.enforce_budget(budget, self.config.compact_above, |name, t| {
+            t.checkpoint()
+                .map_err(|e| {
+                    eprintln!("cspm serve: keeping {name:?} resident, checkpoint failed: {e}");
+                })
+                .is_ok()
+        });
+        for _ in &outcome.evicted {
+            self.counters.bump(&self.counters.evictions);
+        }
+        for _ in &outcome.compacted {
+            self.counters.bump(&self.counters.pressure_compactions);
+        }
+    }
+}
+
+/// Locks a mutex, recovering from poisoning: a panicked mining job must
+/// not wedge every later request for that tenant (or the registry).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn lock_registry(m: &Mutex<SessionRegistry<Tenant>>) -> MutexGuard<'_, SessionRegistry<Tenant>> {
+    lock(m)
+}
+
+/// Cancels mining when the request deadline passes.
+struct DeadlineObserver {
+    deadline: Option<Instant>,
+    hit: bool,
+}
+
+impl ProgressObserver for DeadlineObserver {
+    fn on_iteration(&mut self, _stat: &IterationStat) -> ControlFlow<()> {
+        match self.deadline {
+            Some(at) if Instant::now() >= at => {
+                self.hit = true;
+                ControlFlow::Break(())
+            }
+            _ => ControlFlow::Continue(()),
+        }
+    }
+}
+
+/// A running daemon spawned in-process (tests, benches, `cspm serve`
+/// uses the blocking entry point). Stops and joins on drop.
+pub struct Server {
+    shutdown: Arc<AtomicBool>,
+    thread: Option<JoinHandle<io::Result<()>>>,
+    socket: PathBuf,
+}
+
+impl Server {
+    /// Binds the socket and serves on a background thread. The socket
+    /// is ready for connections when this returns.
+    pub fn spawn(config: ServerConfig) -> io::Result<Server> {
+        let listener = bind_socket(&config.socket)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let socket = config.socket.clone();
+        let flag = Arc::clone(&shutdown);
+        let thread = std::thread::Builder::new()
+            .name("cspm-serve".into())
+            .spawn(move || serve_on(listener, config, flag))?;
+        Ok(Server {
+            shutdown,
+            thread: Some(thread),
+            socket,
+        })
+    }
+
+    /// Binds and serves on the calling thread until SIGTERM/SIGINT (or
+    /// an in-band `shutdown` request). This is `cspm serve`.
+    pub fn run_until_signalled(config: ServerConfig) -> io::Result<()> {
+        let listener = bind_socket(&config.socket)?;
+        let shutdown = signal_flag();
+        install_signal_handlers();
+        serve_on(listener, config, shutdown)
+    }
+
+    /// The socket path this daemon is serving.
+    pub fn socket(&self) -> &Path {
+        &self.socket
+    }
+
+    /// Signals shutdown and waits for the daemon to drain.
+    pub fn stop(mut self) -> io::Result<()> {
+        self.shutdown.store(true, Ordering::SeqCst);
+        match self.thread.take() {
+            Some(t) => t
+                .join()
+                .map_err(|_| io::Error::other("server thread panicked"))?,
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Process-global shutdown flag for the signal handler (handlers can
+/// only touch statics, and an atomic store is async-signal-safe).
+fn signal_flag() -> Arc<AtomicBool> {
+    static FLAG: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+    Arc::clone(FLAG.get_or_init(|| Arc::new(AtomicBool::new(false))))
+}
+
+extern "C" fn on_signal(_signum: i32) {
+    signal_flag().store(true, Ordering::SeqCst);
+}
+
+fn install_signal_handlers() {
+    // std links libc; declaring `signal` directly avoids a dependency
+    // the offline build cannot add. BSD semantics (glibc default) keep
+    // the handler installed across deliveries.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let handler = on_signal as *const () as usize;
+    unsafe {
+        signal(SIGINT, handler);
+        signal(SIGTERM, handler);
+    }
+}
+
+/// Binds `path`, replacing a stale socket file left by a dead daemon
+/// (stale = connecting to it is refused). A *live* daemon on the same
+/// path is an error — two listeners would split the tenant space.
+fn bind_socket(path: &Path) -> io::Result<UnixListener> {
+    if path.exists() {
+        match UnixStream::connect(path) {
+            Ok(_) => {
+                return Err(io::Error::new(
+                    ErrorKind::AddrInUse,
+                    format!("a daemon is already serving on {}", path.display()),
+                ));
+            }
+            Err(_) => std::fs::remove_file(path)?,
+        }
+    }
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let listener = UnixListener::bind(path)?;
+    listener.set_nonblocking(true)?;
+    Ok(listener)
+}
+
+/// The accept loop: runs until `shutdown`, then drains connections,
+/// checkpoints durable tenants, and removes the socket file.
+fn serve_on(
+    listener: UnixListener,
+    config: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+) -> io::Result<()> {
+    if let Some(dir) = &config.store_dir {
+        std::fs::create_dir_all(dir)?;
+    }
+    let socket_path = config.socket.clone();
+    let shared = Arc::new(Shared {
+        registry: Mutex::new(SessionRegistry::new()),
+        pool: WorkerPool::new(config.threads),
+        shutdown: Arc::clone(&shutdown),
+        config,
+        counters: Counters::default(),
+    });
+
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                let shared = Arc::clone(&shared);
+                let handle = std::thread::Builder::new()
+                    .name("cspm-serve-conn".into())
+                    .spawn(move || handle_connection(shared, stream))?;
+                connections.push(handle);
+                connections.retain(|c| !c.is_finished());
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+                connections.retain(|c| !c.is_finished());
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => {
+                // Accept failures are transient (per-connection), not
+                // fatal to the daemon; don't tear down every tenant
+                // because one handshake failed.
+                eprintln!("cspm serve: accept failed: {e}");
+                std::thread::sleep(POLL_INTERVAL);
+            }
+        }
+    }
+
+    for c in connections {
+        let _ = c.join();
+    }
+    // Final drain: persist what can be persisted. A failed checkpoint
+    // is reported, not fatal — the WAL already holds staged deltas.
+    let mut registry = lock_registry(&shared.registry);
+    for name in registry.names() {
+        if let Some(handle) = registry.remove(&name) {
+            if let Err(e) = lock(&handle).checkpoint() {
+                eprintln!("cspm serve: final checkpoint of {name:?} failed: {e}");
+            }
+        }
+    }
+    drop(registry);
+    let _ = std::fs::remove_file(&socket_path);
+    Ok(())
+}
+
+/// Outcome of one capped line read.
+enum LineOutcome {
+    Line(String),
+    /// The line exceeded [`MAX_FRAME`]; it was drained off the stream
+    /// (bounded memory) and the connection stays usable.
+    Oversized,
+    /// Read timed out — poll the shutdown flag and come back.
+    Poll,
+    Eof,
+}
+
+/// Newline-delimited reader with a hard per-line byte cap, tolerant of
+/// read timeouts (partial lines accumulate across polls).
+struct LineReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+    overflowed: bool,
+}
+
+impl<R: BufRead> LineReader<R> {
+    fn new(inner: R) -> Self {
+        Self {
+            inner,
+            buf: Vec::new(),
+            overflowed: false,
+        }
+    }
+
+    fn next_line(&mut self, cap: usize) -> io::Result<LineOutcome> {
+        loop {
+            let available = match self.inner.fill_buf() {
+                Ok(b) => b,
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    return Ok(LineOutcome::Poll);
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            if available.is_empty() {
+                // EOF. A pending unterminated line still counts.
+                if self.overflowed {
+                    self.overflowed = false;
+                    return Ok(LineOutcome::Oversized);
+                }
+                if self.buf.is_empty() {
+                    return Ok(LineOutcome::Eof);
+                }
+                return Ok(LineOutcome::Line(self.take_line()));
+            }
+            match available.iter().position(|&b| b == b'\n') {
+                Some(i) => {
+                    if !self.overflowed && self.buf.len() + i <= cap {
+                        self.buf.extend_from_slice(&available[..i]);
+                        self.inner.consume(i + 1);
+                        return Ok(LineOutcome::Line(self.take_line()));
+                    }
+                    self.inner.consume(i + 1);
+                    self.buf.clear();
+                    self.overflowed = false;
+                    return Ok(LineOutcome::Oversized);
+                }
+                None => {
+                    let n = available.len();
+                    if !self.overflowed {
+                        if self.buf.len() + n > cap {
+                            // Stop buffering, start draining: memory
+                            // stays bounded no matter how long the
+                            // line runs.
+                            self.buf.clear();
+                            self.overflowed = true;
+                        } else {
+                            self.buf.extend_from_slice(available);
+                        }
+                    }
+                    self.inner.consume(n);
+                }
+            }
+        }
+    }
+
+    fn take_line(&mut self) -> String {
+        if self.buf.last() == Some(&b'\r') {
+            self.buf.pop();
+        }
+        let line = String::from_utf8_lossy(&self.buf).into_owned();
+        self.buf.clear();
+        line
+    }
+}
+
+fn handle_connection(shared: Arc<Shared>, stream: UnixStream) {
+    // Short read timeouts let the loop poll the shutdown flag; writes
+    // get a generous cap so one stuck client cannot pin the thread.
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = LineReader::new(BufReader::new(read_half));
+    let mut writer = stream;
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let outcome = match reader.next_line(MAX_FRAME) {
+            Ok(o) => o,
+            Err(_) => return,
+        };
+        let response = match outcome {
+            LineOutcome::Poll => continue,
+            LineOutcome::Eof => return,
+            LineOutcome::Oversized => {
+                shared.counters.bump(&shared.counters.errors);
+                ProtoError::new(
+                    ErrorCode::OversizedFrame,
+                    format!("request line exceeds {MAX_FRAME} bytes"),
+                )
+                .to_line()
+            }
+            LineOutcome::Line(line) if line.trim().is_empty() => continue,
+            LineOutcome::Line(line) => {
+                shared.counters.bump(&shared.counters.requests);
+                match dispatch(&shared, &line) {
+                    Ok(resp) => resp,
+                    Err(e) => {
+                        shared.counters.bump(&shared.counters.errors);
+                        e.to_line()
+                    }
+                }
+            }
+        };
+        if writer
+            .write_all(response.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            return;
+        }
+    }
+}
+
+/// Parses and executes one request line; `Ok` is a complete response
+/// line, `Err` becomes a typed error line. Never panics on any input —
+/// connection threads have no one to report a panic to.
+fn dispatch(shared: &Arc<Shared>, line: &str) -> Result<String, ProtoError> {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return Err(ProtoError::new(
+            ErrorCode::ShuttingDown,
+            "daemon is draining",
+        ));
+    }
+    match parse_request(line)? {
+        Request::Ping => Ok(simple_ok("ping")),
+        Request::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            Ok(simple_ok("shutdown"))
+        }
+        Request::Open { session, graph } => do_open(shared, &session, graph.as_deref()),
+        Request::Delta { session, delta } => do_delta(shared, &session, &delta),
+        Request::Mine {
+            session,
+            deadline_ms,
+            top,
+        } => do_mine(shared, &session, deadline_ms, top),
+        Request::Stats { session } => do_stats(shared, session.as_deref()),
+        Request::Close { session } => do_close(shared, &session),
+    }
+}
+
+fn simple_ok(op: &str) -> String {
+    let mut j = Json::new();
+    j.begin_obj();
+    j.field_bool("ok", true).field_str("op", op);
+    j.end_obj();
+    j.finish()
+}
+
+fn unknown_session(name: &str) -> ProtoError {
+    ProtoError::new(
+        ErrorCode::UnknownSession,
+        format!("no session named {name:?}"),
+    )
+}
+
+fn open_response(name: &str, warm: bool, tenant: &Tenant) -> String {
+    let (vertices, edges) = tenant
+        .session()
+        .graph()
+        .map_or((0, 0), |g| (g.vertex_count(), g.edge_count()));
+    let mut j = Json::new();
+    j.begin_obj();
+    j.field_bool("ok", true)
+        .field_str("op", "open")
+        .field_str("session", name)
+        .field_bool("warm", warm)
+        .field_bool("durable", tenant.is_durable())
+        .field_int("vertices", vertices as u64)
+        .field_int("edges", edges as u64);
+    j.end_obj();
+    j.finish()
+}
+
+fn do_open(shared: &Arc<Shared>, name: &str, graph: Option<&str>) -> Result<String, ProtoError> {
+    shared.counters.bump(&shared.counters.opens);
+    // `_pin` keeps the request's own tenant checked out across budget
+    // enforcement — a just-opened session must never be the one evicted
+    // to make room for itself.
+    let (response, _pin) = match graph {
+        Some(text) => {
+            // Parse outside the registry lock — it's pure CPU on the
+            // request's own payload.
+            let g = read_graph(text.as_bytes())
+                .map_err(|e| ProtoError::new(ErrorCode::BadGraph, e.to_string()))?;
+            let mut registry = lock_registry(&shared.registry);
+            if registry.contains(name) {
+                return Err(ProtoError::new(
+                    ErrorCode::SessionExists,
+                    format!("session {name:?} is already resident; close it first"),
+                ));
+            }
+            let mut tenant = shared.new_tenant(name)?;
+            tenant.load(&g)?;
+            let response = open_response(name, false, &tenant);
+            let pin = registry
+                .insert(name, tenant)
+                .expect("name checked under the same lock");
+            (response, pin)
+        }
+        None => {
+            let mut registry = lock_registry(&shared.registry);
+            if let Some(handle) = registry.checkout(name) {
+                drop(registry);
+                let response = open_response(name, true, &lock(&handle));
+                (response, handle)
+            } else {
+                // Not resident: warm-open from the store if there is
+                // a checkpoint for this name.
+                let path = shared.store_path(name).filter(|p| p.exists());
+                let Some(path) = path else {
+                    return Err(unknown_session(name));
+                };
+                let ds = DurableSession::open(shared.miner(), &path).map_err(|e| {
+                    ProtoError::new(ErrorCode::Store, format!("open {}: {e}", path.display()))
+                })?;
+                let tenant = Tenant::Durable(Box::new(ds));
+                let response = open_response(name, true, &tenant);
+                let pin = registry
+                    .insert(name, tenant)
+                    .expect("absence checked under the same lock");
+                (response, pin)
+            }
+        }
+    };
+    shared.enforce_budget();
+    Ok(response)
+}
+
+fn do_delta(shared: &Arc<Shared>, name: &str, delta: &GraphDelta) -> Result<String, ProtoError> {
+    shared.counters.bump(&shared.counters.deltas);
+    let handle = lock_registry(&shared.registry)
+        .checkout(name)
+        .ok_or_else(|| unknown_session(name))?;
+    let stats = lock(&handle).stage_delta(delta)?;
+    // Budget pressure runs while `handle` pins this tenant: the session
+    // the client is actively growing is not an eviction candidate.
+    shared.enforce_budget();
+    drop(handle);
+    let mut j = Json::new();
+    j.begin_obj();
+    j.field_bool("ok", true)
+        .field_str("op", "delta")
+        .field_str("session", name)
+        .field_int("dirty_centers", stats.dirty_centers as u64)
+        .field_bool("rebuilt", stats.rebuilt.is_some())
+        .field_bool("compacted", stats.compacted)
+        .field_num("fragmentation", stats.fragmentation);
+    j.end_obj();
+    Ok(j.finish())
+}
+
+/// The hex digest of a DL value's exact bit pattern — the protocol's
+/// bit-identity witness (`final_dl` itself is also exact on the wire,
+/// but a string survives every JSON consumer's float handling).
+pub fn dl_bits(dl: f64) -> String {
+    format!("{:016x}", dl.to_bits())
+}
+
+fn do_mine(
+    shared: &Arc<Shared>,
+    name: &str,
+    deadline_ms: Option<u64>,
+    top: Option<usize>,
+) -> Result<String, ProtoError> {
+    shared.counters.bump(&shared.counters.mines);
+    let handle = lock_registry(&shared.registry)
+        .checkout(name)
+        .ok_or_else(|| unknown_session(name))?;
+    let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+    let started = Instant::now();
+    let job_name = name.to_string();
+    // Pin the tenant across the pooled run *and* budget enforcement.
+    let pin = Arc::clone(&handle);
+    // The pool bounds mining CPU across all connections; the closure
+    // locks the tenant only once a worker picks it up. Latency is
+    // measured from request receipt, so it includes queue wait — that
+    // is what the client experiences.
+    let outcome = shared
+        .pool
+        .run(move || {
+            let mut tenant = lock(&handle);
+            let mut obs = DeadlineObserver {
+                deadline,
+                hit: false,
+            };
+            let result = tenant.run_with(&mut obs);
+            let rendered = result.map(|r| {
+                render_mine(
+                    &job_name,
+                    &tenant,
+                    &r,
+                    top,
+                    started.elapsed().as_millis() as u64,
+                )
+            });
+            (rendered, obs.hit)
+        })
+        .map_err(|_| {
+            ProtoError::new(
+                ErrorCode::Internal,
+                "mining job panicked; session state was not persisted",
+            )
+        })?;
+    match outcome {
+        (Ok(rendered), hit) => {
+            if hit {
+                shared.counters.bump(&shared.counters.deadline_hits);
+                return Err(ProtoError::new(
+                    ErrorCode::DeadlineExceeded,
+                    format!(
+                        "deadline of {}ms expired mid-merge; warm session state is unchanged",
+                        deadline_ms.unwrap_or(0)
+                    ),
+                ));
+            }
+            shared.enforce_budget();
+            drop(pin);
+            Ok(rendered)
+        }
+        (Err(e), _) => Err(e),
+    }
+}
+
+/// Renders a mine response under the tenant lock (star display needs
+/// the graph's attribute table).
+fn render_mine(
+    name: &str,
+    tenant: &Tenant,
+    result: &CspmResult,
+    top: Option<usize>,
+    elapsed_ms: u64,
+) -> String {
+    let mut j = Json::new();
+    j.begin_obj();
+    j.field_bool("ok", true)
+        .field_str("op", "mine")
+        .field_str("session", name)
+        .field_num("initial_dl", result.initial_dl)
+        .field_num("final_dl", result.final_dl)
+        .field_str("final_dl_bits", &dl_bits(result.final_dl))
+        .field_int("merges", result.merges as u64)
+        .field_int("n_astars", result.model.len() as u64)
+        .field_bool("cancelled", result.stats.cancelled)
+        .field_int("elapsed_ms", elapsed_ms);
+    if let (Some(top), Some(g)) = (top, tenant.session().graph()) {
+        j.begin_arr_field("top_patterns");
+        for m in result.model.astars().iter().take(top) {
+            j.begin_obj()
+                .field_str("astar", &m.astar.display(g.attrs()).to_string())
+                .field_int("frequency", m.frequency)
+                .field_num("code_len", m.code_len);
+            j.end_obj();
+        }
+        j.end_arr();
+    }
+    j.end_obj();
+    j.finish()
+}
+
+fn do_stats(shared: &Arc<Shared>, session: Option<&str>) -> Result<String, ProtoError> {
+    match session {
+        None => {
+            let mut registry = lock_registry(&shared.registry);
+            let names = registry.names();
+            let bytes = registry.approx_bytes();
+            drop(registry);
+            let c = &shared.counters;
+            let mut j = Json::new();
+            j.begin_obj();
+            j.field_bool("ok", true)
+                .field_str("op", "stats")
+                .field_int("sessions", names.len() as u64)
+                .field_int("resident_bytes", bytes as u64)
+                .field_int("threads", shared.pool.threads() as u64);
+            match shared.config.mem_budget {
+                Some(b) => j.field_int("mem_budget", b as u64),
+                None => j.field_bool("mem_budget_unlimited", true),
+            };
+            j.begin_arr_field("names");
+            for name in &names {
+                // Array of bare strings: reuse the writer's object
+                // machinery by emitting via a one-field trick is worse
+                // than a tiny direct write here.
+                j.item_str(name);
+            }
+            j.end_arr();
+            j.begin_obj_field("counters");
+            j.field_int("requests", c.requests.load(Ordering::Relaxed))
+                .field_int("errors", c.errors.load(Ordering::Relaxed))
+                .field_int("opens", c.opens.load(Ordering::Relaxed))
+                .field_int("deltas", c.deltas.load(Ordering::Relaxed))
+                .field_int("mines", c.mines.load(Ordering::Relaxed))
+                .field_int("deadline_hits", c.deadline_hits.load(Ordering::Relaxed))
+                .field_int("evictions", c.evictions.load(Ordering::Relaxed))
+                .field_int(
+                    "pressure_compactions",
+                    c.pressure_compactions.load(Ordering::Relaxed),
+                );
+            j.end_obj();
+            j.end_obj();
+            Ok(j.finish())
+        }
+        Some(name) => {
+            let handle = lock_registry(&shared.registry).peek(name);
+            let mut j = Json::new();
+            j.begin_obj();
+            j.field_bool("ok", true)
+                .field_str("op", "stats")
+                .field_str("session", name);
+            match handle {
+                Some(handle) => {
+                    let tenant = lock(&handle);
+                    let (vertices, edges) = tenant
+                        .session()
+                        .graph()
+                        .map_or((0, 0), |g| (g.vertex_count(), g.edge_count()));
+                    j.field_bool("resident", true)
+                        .field_bool("durable", tenant.is_durable())
+                        .field_int("vertices", vertices as u64)
+                        .field_int("edges", edges as u64)
+                        .field_int("approx_bytes", tenant.approx_bytes() as u64)
+                        .field_num("fragmentation", tenant.fragmentation())
+                        .field_int("compactions", tenant.session().compactions());
+                }
+                None => {
+                    let stored = shared.store_path(name).is_some_and(|p| p.exists());
+                    if !stored {
+                        return Err(unknown_session(name));
+                    }
+                    j.field_bool("resident", false).field_bool("stored", true);
+                }
+            }
+            j.end_obj();
+            Ok(j.finish())
+        }
+    }
+}
+
+fn do_close(shared: &Arc<Shared>, name: &str) -> Result<String, ProtoError> {
+    // Checkpoint while still resident (peek: closing must not bump
+    // recency), then remove. A concurrent close of the same name loses
+    // the race at `remove` and reports unknown_session — accurate.
+    let handle = lock_registry(&shared.registry)
+        .peek(name)
+        .ok_or_else(|| unknown_session(name))?;
+    let checkpointed = lock(&handle).checkpoint()?;
+    drop(handle);
+    if lock_registry(&shared.registry).remove(name).is_none() {
+        return Err(unknown_session(name));
+    }
+    let mut j = Json::new();
+    j.begin_obj();
+    j.field_bool("ok", true)
+        .field_str("op", "close")
+        .field_str("session", name)
+        .field_bool("checkpointed", checkpointed);
+    j.end_obj();
+    Ok(j.finish())
+}

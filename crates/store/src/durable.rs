@@ -286,6 +286,21 @@ impl DurableSession {
         Ok(())
     }
 
+    /// Cold-loads `g` and checkpoints it — durability without mining.
+    /// A serving daemon opens tenants this way: the graph is on disk
+    /// (and the WAL reset) immediately, while the first mine happens
+    /// whenever the tenant asks for it.
+    pub fn load(&mut self, g: &AttributedGraph) -> Result<(), DurableError> {
+        self.session.load(g);
+        self.checkpoint()
+    }
+
+    /// Compacts the retained posting arena in place (no store traffic;
+    /// the next checkpoint simply snapshots the denser arena).
+    pub fn compact_now(&mut self) {
+        self.session.compact_now();
+    }
+
     /// Mines `g` and checkpoints the loaded session, so the next open
     /// is warm. Equivalent to [`MiningSession::mine`] + durability.
     pub fn mine(&mut self, g: &AttributedGraph) -> Result<CspmResult, DurableError> {

@@ -17,6 +17,7 @@
 //! | [`completion`] | `cspm-completion` | node attribute completion (Table IV) |
 //! | [`alarm`] | `cspm-alarm` | telecom alarm correlation (Fig. 8) + compression |
 //! | [`classify`] | `cspm-classify` | graph classification with a-star features (future work §VII) |
+//! | [`serve`] | `cspm-serve` | multi-tenant mining daemon: line-JSON protocol, registry, eviction |
 //!
 //! ## Quickstart
 //!
@@ -56,4 +57,5 @@ pub use cspm_graph as graph;
 pub use cspm_itemset as itemset;
 pub use cspm_mdl as mdl;
 pub use cspm_nn as nn;
+pub use cspm_serve as serve;
 pub use cspm_store as store;

@@ -9,6 +9,8 @@
 //! cspm stats --store <path> [--json]
 //! cspm generate <dblp|dblp-trend|usflight|pokec> <out-file> [--scale tiny|small|paper] [--seed N]
 //! cspm verify <graph-file>
+//! cspm serve --socket <path> [--store-dir <dir>] [--threads N] [--mem-budget BYTES]
+//! cspm client <op> --socket <path> [op args…]
 //! ```
 //!
 //! Graph files use the plain-text format of `cspm::graph::read_graph`
@@ -39,8 +41,6 @@
 //! health — file sizes, generation, WAL records since the last
 //! checkpoint, and how recovery went.
 
-mod jsonfmt;
-
 use std::fs::File;
 use std::process::ExitCode;
 
@@ -49,7 +49,7 @@ use cspm::core::{
 };
 use cspm::datasets::{dblp_like, dblp_trend_like, pokec_like, save_dataset, usflight_like, Scale};
 use cspm::graph::{metrics, read_graph, AttributedGraph};
-use jsonfmt::Json;
+use cspm::serve::Json;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -73,6 +73,14 @@ const USAGE: &str = "usage:
   cspm stats --store <path> [--json]
   cspm generate <dblp|dblp-trend|usflight|pokec> <out-file> [--scale tiny|small|paper] [--seed N]
   cspm verify <graph-file>
+  cspm serve --socket <path> [--store-dir <dir>] [--threads N]
+                             [--mem-budget BYTES] [--compact-above F]
+  cspm client ping|shutdown            --socket <path>
+  cspm client open <session>           --socket <path> [--graph <file>]
+  cspm client delta <session>          --socket <path> [--file <json>]
+  cspm client mine <session>           --socket <path> [--deadline-ms N] [--top K]
+  cspm client stats [<session>]        --socket <path>
+  cspm client close <session>          --socket <path>
 
 machine-readable output:
   --json               emit one JSON document on stdout (run statistics,
@@ -93,6 +101,17 @@ durable sessions (crash-safe snapshot + delta WAL, docs/FORMATS.md):
                        generation, WAL records since the last checkpoint,
                        and how recovery went (clean / tail-truncated /
                        snapshot-fallback)
+
+mining as a service (wire protocol: docs/FORMATS.md §7):
+  serve                keep many named tenant sessions resident behind a
+                       Unix socket speaking line-delimited JSON; under
+                       --mem-budget pressure, fragmented tenants are
+                       compacted and idle ones evicted LRU-first (durable
+                       tenants checkpoint to --store-dir for warm re-open)
+  client               one request per invocation: builds the JSON line,
+                       prints the daemon's response line on stdout, and
+                       exits nonzero when the daemon reports an error
+                       (delta reads the delta object from --file or stdin)
 
 real datasets (requires a build with --features real-data):
   --input <dump>       ingest a real dataset dump; parsed graphs are cached
@@ -120,6 +139,8 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("stats") => stats(&args[1..]),
         Some("generate") => generate(&args[1..]),
         Some("verify") => verify(&args[1..]),
+        Some("serve") => serve(&args[1..]),
+        Some("client") => client(&args[1..]),
         Some(other) => Err(format!("unknown command '{other}'")),
         None => Err("missing command".into()),
     }
@@ -447,6 +468,7 @@ fn mine_json(
     j.begin_obj_field("run")
         .field_num("initial_dl_bits", result.initial_dl)
         .field_num("final_dl_bits", result.final_dl)
+        .field_str("final_dl_hex", &cspm::serve::dl_bits(result.final_dl))
         .field_num("compression_ratio", result.compression_ratio())
         .field_int("merges", result.merges as u64)
         .field_int("total_gain_evals", result.stats.total_gain_evals)
@@ -790,4 +812,230 @@ fn verify(args: &[String]) -> Result<(), String> {
             errors.len()
         ))
     }
+}
+
+/// `cspm serve`: run the multi-tenant mining daemon in the foreground
+/// until SIGTERM/SIGINT, then drain connections, checkpoint durable
+/// tenants, and remove the socket file (exit 0).
+fn serve(args: &[String]) -> Result<(), String> {
+    let mut socket: Option<String> = None;
+    let mut config_rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--socket" => socket = Some(value("--socket")?),
+            "--store-dir" => config_rest.push(("store-dir", value("--store-dir")?)),
+            "--threads" => config_rest.push(("threads", value("--threads")?)),
+            "--mem-budget" => config_rest.push(("mem-budget", value("--mem-budget")?)),
+            "--compact-above" => config_rest.push(("compact-above", value("--compact-above")?)),
+            other => return Err(format!("unknown serve flag '{other}'")),
+        }
+    }
+    let socket = socket.ok_or("serve needs --socket <path>")?;
+    let mut config = cspm::serve::ServerConfig::new(&socket);
+    for (flag, raw) in config_rest {
+        match flag {
+            "store-dir" => config.store_dir = Some(raw.into()),
+            "threads" => {
+                config.threads = raw
+                    .parse()
+                    .map_err(|_| format!("--threads must be an integer, got '{raw}'"))?;
+            }
+            "mem-budget" => {
+                config.mem_budget = Some(
+                    raw.parse()
+                        .map_err(|_| format!("--mem-budget must be bytes, got '{raw}'"))?,
+                );
+            }
+            "compact-above" => {
+                config.compact_above = raw
+                    .parse()
+                    .map_err(|_| format!("--compact-above must be a number, got '{raw}'"))?;
+            }
+            _ => unreachable!(),
+        }
+    }
+    eprintln!("serve: listening on {socket}");
+    cspm::serve::Server::run_until_signalled(config).map_err(|e| format!("serve: {e}"))
+}
+
+/// `cspm client`: one request per invocation. Builds the JSON request
+/// line locally (validating deltas client-side with the same decoder
+/// the daemon uses), sends it over the Unix socket, prints the
+/// daemon's single response line on stdout, and exits nonzero when the
+/// response says `"ok":false` — so shell/CI pipelines can gate on it.
+fn client(args: &[String]) -> Result<(), String> {
+    use cspm::serve::json::Value;
+
+    let op = args
+        .first()
+        .ok_or("client needs an op: ping|open|delta|mine|stats|close|shutdown")?
+        .as_str();
+    let mut socket: Option<String> = None;
+    let mut session: Option<String> = None;
+    let mut graph_file: Option<String> = None;
+    let mut delta_file: Option<String> = None;
+    let mut deadline_ms: Option<u64> = None;
+    let mut top: Option<u64> = None;
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--socket" => socket = Some(value("--socket")?),
+            "--graph" => graph_file = Some(value("--graph")?),
+            "--file" => delta_file = Some(value("--file")?),
+            "--deadline-ms" => {
+                let raw = value("--deadline-ms")?;
+                deadline_ms = Some(
+                    raw.parse()
+                        .map_err(|_| format!("--deadline-ms must be an integer, got '{raw}'"))?,
+                );
+            }
+            "--top" => {
+                let raw = value("--top")?;
+                top = Some(
+                    raw.parse()
+                        .map_err(|_| format!("--top must be an integer, got '{raw}'"))?,
+                );
+            }
+            other if !other.starts_with('-') && session.is_none() => {
+                session = Some(other.to_string());
+            }
+            other => return Err(format!("unknown client flag '{other}'")),
+        }
+    }
+    let socket = socket.ok_or("client needs --socket <path>")?;
+
+    let mut fields: Vec<(String, Value)> = vec![("op".into(), Value::Str(op.into()))];
+    let need_session = || {
+        session
+            .clone()
+            .ok_or_else(|| format!("client {op} needs a session name"))
+    };
+    match op {
+        "ping" | "shutdown" => {}
+        "open" => {
+            fields.push(("session".into(), Value::Str(need_session()?)));
+            if let Some(path) = &graph_file {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                fields.push(("graph".into(), Value::Str(text)));
+            }
+        }
+        "delta" => {
+            fields.push(("session".into(), Value::Str(need_session()?)));
+            let text = match &delta_file {
+                Some(path) => {
+                    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
+                }
+                None => {
+                    use std::io::Read as _;
+                    let mut buf = String::new();
+                    std::io::stdin()
+                        .read_to_string(&mut buf)
+                        .map_err(|e| format!("cannot read delta from stdin: {e}"))?;
+                    buf
+                }
+            };
+            let delta = cspm::serve::json::parse(text.trim())
+                .map_err(|e| format!("delta is not valid JSON: {e}"))?;
+            // Fail fast with the daemon's own decoder before burning a
+            // round-trip on a delta the server would reject anyway.
+            cspm::serve::proto::delta_from_value(&delta)
+                .map_err(|e| format!("invalid delta: {}", e.message))?;
+            // The wire format carries the delta fields at the request's
+            // top level (docs/FORMATS.md §7), so splice them in.
+            match delta {
+                Value::Obj(pairs) => {
+                    for (key, val) in pairs {
+                        if key == "op" || key == "session" {
+                            return Err(format!("delta object must not contain a '{key}' key"));
+                        }
+                        fields.push((key, val));
+                    }
+                }
+                _ => return Err("delta must be a JSON object".into()),
+            }
+        }
+        "mine" => {
+            fields.push(("session".into(), Value::Str(need_session()?)));
+            if let Some(ms) = deadline_ms {
+                fields.push(("deadline_ms".into(), Value::Num(ms as f64)));
+            }
+            if let Some(k) = top {
+                fields.push(("top".into(), Value::Num(k as f64)));
+            }
+        }
+        "stats" => {
+            if let Some(name) = &session {
+                fields.push(("session".into(), Value::Str(name.clone())));
+            }
+        }
+        "close" => fields.push(("session".into(), Value::Str(need_session()?))),
+        other => return Err(format!("unknown client op '{other}'")),
+    }
+
+    let request = Value::Obj(fields).to_json();
+    let response = client_round_trip(&socket, &request)?;
+    println!("{response}");
+    // Daemon-side refusals are not CLI-usage mistakes: report them on
+    // stderr and exit nonzero without re-printing the usage banner (the
+    // typed error line is already on stdout for scripts to parse).
+    match cspm::serve::json::parse(&response) {
+        Ok(v) if v.get("ok").and_then(Value::as_bool) == Some(true) => Ok(()),
+        Ok(v) => {
+            let (code, message) = match v.get("error") {
+                Some(err) => (
+                    err.get("code").and_then(Value::as_str).unwrap_or("?"),
+                    err.get("message").and_then(Value::as_str).unwrap_or(""),
+                ),
+                None => ("?", ""),
+            };
+            eprintln!("error: daemon refused: {code}: {message}");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("error: daemon sent invalid JSON: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Send one request line, read one response line. Timeouts keep a dead
+/// daemon from hanging the CLI forever.
+fn client_round_trip(socket: &str, request: &str) -> Result<String, String> {
+    use std::io::{BufRead as _, BufReader, Write as _};
+    use std::os::unix::net::UnixStream;
+    use std::time::Duration;
+
+    let stream = UnixStream::connect(socket)
+        .map_err(|e| format!("cannot connect to {socket}: {e} (is the daemon running?)"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(600)))
+        .and_then(|()| stream.set_write_timeout(Some(Duration::from_secs(30))))
+        .map_err(|e| format!("cannot set socket timeouts: {e}"))?;
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| format!("cannot clone socket: {e}"))?;
+    writer
+        .write_all(request.as_bytes())
+        .and_then(|()| writer.write_all(b"\n"))
+        .map_err(|e| format!("cannot send request: {e}"))?;
+    let mut line = String::new();
+    BufReader::new(stream)
+        .read_line(&mut line)
+        .map_err(|e| format!("cannot read response: {e}"))?;
+    if line.is_empty() {
+        return Err("daemon closed the connection without responding".into());
+    }
+    Ok(line.trim_end().to_string())
 }

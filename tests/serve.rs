@@ -1,0 +1,214 @@
+//! End-to-end tests of `cspm serve` + `cspm client` as real processes:
+//! a live daemon, concurrent tenants driven through the client binary,
+//! DL digests asserted bit-identical to one-shot `cspm mine --json`,
+//! and a clean SIGTERM shutdown (exit 0, no leaked socket file).
+//!
+//! In-process protocol coverage (malformed frames, deadlines, eviction)
+//! lives in `crates/serve/tests/protocol.rs`; this suite only exercises
+//! what needs real binaries and real signals.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command};
+use std::time::{Duration, Instant};
+
+fn cspm(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_cspm"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("cspm-serve-tests").join(name);
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Pulls the string value of `"key":"…"` out of a JSON line. The CLI
+/// emits flat, unescaped hex digests and op names, so a plain string
+/// scan is reliable here.
+fn json_str_field(doc: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":\"");
+    let start = doc.find(&needle)? + needle.len();
+    let end = doc[start..].find('"')?;
+    Some(doc[start..start + end].to_string())
+}
+
+struct Daemon {
+    child: Child,
+    socket: PathBuf,
+}
+
+impl Daemon {
+    /// Spawns `cspm serve` and blocks until it answers a ping.
+    fn spawn(socket: &Path, extra: &[&str]) -> Daemon {
+        let child = Command::new(env!("CARGO_BIN_EXE_cspm"))
+            .arg("serve")
+            .arg("--socket")
+            .arg(socket)
+            .args(extra)
+            .spawn()
+            .expect("daemon spawns");
+        let daemon = Daemon {
+            child,
+            socket: socket.to_path_buf(),
+        };
+        let deadline = Instant::now() + Duration::from_secs(20);
+        loop {
+            let (ok, _, _) = cspm(&["client", "ping", "--socket", daemon.socket_str()]);
+            if ok {
+                return daemon;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "daemon did not answer ping within 20s"
+            );
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+
+    fn socket_str(&self) -> &str {
+        self.socket.to_str().unwrap()
+    }
+
+    /// SIGTERM + wait; asserts exit 0 and that the socket file is gone.
+    fn terminate(mut self) {
+        let pid = self.child.id().to_string();
+        let ok = Command::new("kill")
+            .args(["-TERM", &pid])
+            .status()
+            .expect("kill runs")
+            .success();
+        assert!(ok, "kill -TERM failed");
+        let status = self.child.wait().expect("daemon reaps");
+        assert!(status.success(), "daemon exited {status:?} on SIGTERM");
+        assert!(
+            !self.socket.exists(),
+            "daemon leaked its socket file {:?}",
+            self.socket
+        );
+    }
+}
+
+#[test]
+fn three_concurrent_tenants_mine_bit_identically_to_one_shot() {
+    let dir = temp_dir("tenants");
+    let socket = dir.join("d.sock");
+    let daemon = Daemon::spawn(&socket, &["--threads", "2"]);
+
+    let handles: Vec<_> = (0..3)
+        .map(|t| {
+            let dir = dir.clone();
+            let socket = socket.clone();
+            std::thread::spawn(move || {
+                let socket = socket.to_str().unwrap();
+                let graph = dir.join(format!("g{t}.txt"));
+                let graph_str = graph.to_str().unwrap();
+                let seed = (11 + t).to_string();
+                let (ok, _, err) = cspm(&[
+                    "generate", "dblp", graph_str, "--scale", "tiny", "--seed", &seed,
+                ]);
+                assert!(ok, "generate: {err}");
+
+                // Ground truth: one-shot CLI mining of the same file.
+                let (ok, json, err) = cspm(&["mine", graph_str, "--json"]);
+                assert!(ok, "one-shot mine: {err}");
+                let expected =
+                    json_str_field(&json, "final_dl_hex").expect("one-shot emits final_dl_hex");
+
+                let tenant = format!("t{t}");
+                let (ok, _, err) = cspm(&[
+                    "client", "open", &tenant, "--socket", socket, "--graph", graph_str,
+                ]);
+                assert!(ok, "open {tenant}: {err}");
+
+                let (ok, resp, err) = cspm(&["client", "mine", &tenant, "--socket", socket]);
+                assert!(ok, "mine {tenant}: {err}");
+                let got =
+                    json_str_field(&resp, "final_dl_bits").expect("daemon emits final_dl_bits");
+                assert_eq!(got, expected, "{tenant}: daemon DL digest != one-shot CLI");
+
+                // The session keeps serving after a delta re-mine.
+                let delta = dir.join(format!("delta{t}.json"));
+                std::fs::write(
+                    &delta,
+                    format!(r#"{{"add_vertices":[["extra{t}"]],"add_edges":[[0,{{"new":0}}]]}}"#),
+                )
+                .unwrap();
+                let (ok, resp, err) = cspm(&[
+                    "client",
+                    "delta",
+                    &tenant,
+                    "--socket",
+                    socket,
+                    "--file",
+                    delta.to_str().unwrap(),
+                ]);
+                assert!(ok, "delta {tenant}: {err}");
+                assert!(resp.contains("\"dirty_centers\""), "delta response: {resp}");
+                let (ok, resp, err) = cspm(&["client", "mine", &tenant, "--socket", socket]);
+                assert!(ok, "re-mine {tenant}: {err}");
+                let regrown =
+                    json_str_field(&resp, "final_dl_bits").expect("re-mine emits final_dl_bits");
+                assert_ne!(regrown, expected, "delta must change the mined DL");
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("tenant thread");
+    }
+
+    let (ok, stats, _) = cspm(&["client", "stats", "--socket", daemon.socket_str()]);
+    assert!(ok);
+    assert!(stats.contains("\"sessions\":3"), "stats: {stats}");
+    for t in 0..3 {
+        assert!(stats.contains(&format!("\"t{t}\"")), "stats: {stats}");
+    }
+
+    daemon.terminate();
+}
+
+#[test]
+fn daemon_reports_typed_errors_and_sigterm_shutdown_is_clean() {
+    let dir = temp_dir("errors");
+    let socket = dir.join("d.sock");
+    let daemon = Daemon::spawn(
+        &socket,
+        &["--store-dir", dir.join("store").to_str().unwrap()],
+    );
+    let sock = daemon.socket_str();
+
+    // Unknown session: typed error line on stdout, nonzero exit.
+    let (ok, resp, err) = cspm(&["client", "mine", "ghost", "--socket", sock]);
+    assert!(!ok, "mining a nonexistent session must fail");
+    assert!(resp.contains("\"unknown_session\""), "stdout: {resp}");
+    assert!(err.contains("unknown_session"), "stderr: {err}");
+
+    // A client-side invalid delta never even reaches the daemon.
+    let bad = dir.join("bad.json");
+    // `{"new":5}` refers to the 6th vertex of a delta that adds none.
+    std::fs::write(&bad, "{\"add_edges\":[[0,{\"new\":5}]]}").unwrap();
+    let (ok, _, err) = cspm(&[
+        "client",
+        "delta",
+        "ghost",
+        "--socket",
+        sock,
+        "--file",
+        bad.to_str().unwrap(),
+    ]);
+    assert!(!ok);
+    assert!(err.contains("invalid delta"), "stderr: {err}");
+
+    // The daemon is still healthy afterwards.
+    let (ok, resp, _) = cspm(&["client", "ping", "--socket", sock]);
+    assert!(ok, "daemon wedged after error traffic: {resp}");
+
+    daemon.terminate();
+}
