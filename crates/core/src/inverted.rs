@@ -85,7 +85,7 @@ pub struct InvertedDb {
     /// Number of leafsets that still have at least one row.
     live_leafsets: usize,
     /// How the coresets were formed (decides whether the database can
-    /// be patched incrementally; see [`Self::apply_additions`]).
+    /// be patched incrementally; see [`Self::apply_delta`]).
     mode: CoresetMode,
     /// Whether the database is still in its post-build state (no merge
     /// applied). Only pristine databases can absorb graph deltas.
@@ -98,7 +98,7 @@ pub struct InvertedDb {
     gain_policy: GainPolicy,
 }
 
-/// What [`InvertedDb::apply_additions`] did, for session diagnostics.
+/// What [`InvertedDb::apply_delta`] did, for session diagnostics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PatchStats {
     /// Coresets created for attribute values the delta introduced.
@@ -106,9 +106,15 @@ pub struct PatchStats {
     /// Rows created for `(coreset, leaf)` pairs that did not co-occur
     /// before the delta.
     pub rows_added: usize,
+    /// Rows whose position set emptied out and were released back to
+    /// the posting free-list.
+    pub rows_removed: usize,
     /// Positions inserted into rows (including the initial position of
-    /// every added row).
+    /// every added row, and dirty positions re-derived in place).
     pub positions_added: usize,
+    /// Dirty positions cleared out of retained rows before re-derive
+    /// (a re-qualified center counts once here and once above).
+    pub positions_removed: usize,
 }
 
 /// Why a database could not absorb a graph delta in place. The caller
@@ -131,6 +137,11 @@ pub enum PatchError {
     /// vertex of the grown graph; a fresh build would skip it, so a
     /// patch appending it would desynchronise the numbering.
     EmptyAttribute(AttrId),
+    /// A removal-carrying delta drove an existing attribute value's
+    /// frequency to zero. A fresh build of the shrunk graph would skip
+    /// its coreset and renumber everything after it — bit-identity
+    /// cannot be patched cheaply, so the caller rebuilds cold.
+    VanishedAttribute(AttrId),
 }
 
 impl std::fmt::Display for PatchError {
@@ -151,6 +162,13 @@ impl std::fmt::Display for PatchError {
                 write!(
                     f,
                     "attribute value {a} occurs on no vertex of the grown graph"
+                )
+            }
+            Self::VanishedAttribute(a) => {
+                write!(
+                    f,
+                    "attribute value {a} no longer occurs on any vertex; a fresh \
+                     build would renumber the coresets after it"
                 )
             }
         }
@@ -274,7 +292,7 @@ impl InvertedDb {
         // singleton leafset id upfront, in attribute-id order, so
         // `lid(singleton {a}) == a` regardless of which coreset happens
         // to encounter the leaf first. This is what makes an
-        // incrementally patched database (apply_additions) numbered
+        // incrementally patched database (apply_delta) numbered
         // identically to a fresh build of the grown graph — and leafset
         // ids are tie-breakers in the candidate scheduler, so identical
         // numbering is required for bit-identical mining.
@@ -308,7 +326,7 @@ impl InvertedDb {
         }
         // Replace the per-row accumulation with one canonical pass, so
         // the pristine DL terms are a pure function of the final rows —
-        // a patched database (apply_additions) recomputes them the same
+        // a patched database (apply_delta) recomputes them the same
         // way and lands on bit-identical floats.
         this.recompute_dl_terms();
         this
@@ -346,11 +364,20 @@ impl InvertedDb {
 
     /// Patches a **pristine** single-value-coreset database so it
     /// matches what [`Self::build`] would produce for `g` — without
-    /// re-scanning the stars of unchanged vertices. `g` is the *grown*
-    /// graph (the base this database was built from, plus an additive
-    /// [`cspm_graph::dynamic::GraphDelta`]), and `dirty` is the delta's
-    /// sorted dirty-center set: exactly the vertices whose rows may
-    /// have changed.
+    /// re-scanning the stars of unchanged vertices. `g` is the
+    /// *evolved* graph (the base this database was built from, plus a
+    /// [`cspm_graph::dynamic::GraphDelta`] — additions, removals and
+    /// label changes alike), and `dirty` is the delta's sorted
+    /// dirty-center set: exactly the vertices whose rows may have
+    /// changed.
+    ///
+    /// The patch is uniform over additions and churn: every retained
+    /// row first has its dirty positions cleared
+    /// ([`PostingStore::difference`]), then the dirty centers that
+    /// *still* qualify in the evolved graph are re-inserted
+    /// ([`PostingStore::union_in_place`]). Rows that empty out are
+    /// released back to the posting free-list; `(coreset, leaf)` pairs
+    /// that first co-occur now get fresh rows.
     ///
     /// The patched database is logically identical to a fresh build —
     /// same coreset and leafset numbering, same row contents, same
@@ -363,11 +390,12 @@ impl InvertedDb {
     /// Cost: a star scan of the dirty centers only, plus linear
     /// refresh passes over existing state — the mapping table and
     /// standard code table (`O(|λ| + |A|)`, attribute frequencies
-    /// change globally) and the canonical DL-term recomputation
-    /// (`O(rows)`). Still linear in the graph, but a large constant
-    /// factor cheaper than [`Self::build`]'s full star scan (~8× on
-    /// pokec-Small: 21 ms vs 163 ms).
-    pub fn apply_additions(
+    /// change globally), one dirty-overlap probe per retained row, and
+    /// the canonical DL-term recomputation (`O(rows)`). Still linear
+    /// in the graph, but a large constant factor cheaper than
+    /// [`Self::build`]'s full star scan (~8× on pokec-Small: 21 ms vs
+    /// 163 ms).
+    pub fn apply_delta(
         &mut self,
         g: &AttributedGraph,
         dirty: &[VertexId],
@@ -391,6 +419,12 @@ impl InvertedDb {
             return Err(PatchError::NonCanonicalCoresets(e as CoresetId));
         }
         let mapping = g.mapping_table();
+        // A removal that wiped out an existing value's last occurrence
+        // means a fresh build would skip its coreset and renumber the
+        // rest — detect it up front and let the caller rebuild cold.
+        if let Some(e) = (0..self.coresets.len() as AttrId).find(|&e| mapping.frequency(e) == 0) {
+            return Err(PatchError::VanishedAttribute(e));
+        }
         // Values past the existing coresets must all occur, or a fresh
         // build would skip them and number later coresets differently.
         // Delta-interned values always arrive attached to a vertex;
@@ -432,14 +466,14 @@ impl InvertedDb {
             stats.new_coresets += 1;
         }
 
-        // Re-derive the rows of every dirty center. Deltas are
-        // additive, so a dirty center only ever *gains* memberships;
-        // everything it already had stays put. Candidate memberships
-        // are gathered first and applied one *batch per row*: growing a
-        // row once by k positions costs one union pass (and at most one
-        // relocation), where k single-position unions would re-copy the
-        // row k times and leave a trail of abandoned spans behind.
-        let mut additions: HashMap<(AttrId, AttrId), Vec<VertexId>> = HashMap::new();
+        // Re-derive the rows of every dirty center against the evolved
+        // graph. `desired` holds, per (coreset, leaf) row, exactly the
+        // dirty centers that belong to that row *now* — memberships a
+        // removal retracted simply never show up. Batching per row
+        // means one difference pass plus one union pass (and at most
+        // one relocation) per touched row, where per-position edits
+        // would re-copy the row k times and leave abandoned spans.
+        let mut desired: HashMap<(AttrId, AttrId), Vec<VertexId>> = HashMap::new();
         let mut leaves: Vec<AttrId> = Vec::new();
         for &v in dirty {
             leaves.clear();
@@ -452,31 +486,60 @@ impl InvertedDb {
                 for &leaf in &leaves {
                     // `dirty` is sorted, so each row's batch stays
                     // sorted by construction.
-                    additions.entry((a, leaf)).or_default().push(v);
+                    desired.entry((a, leaf)).or_default().push(v);
                 }
             }
         }
-        let mut batches: Vec<((AttrId, AttrId), Vec<VertexId>)> = additions.into_iter().collect();
-        batches.sort_unstable_by_key(|&(key, _)| key);
-        for ((a, leaf), vs) in batches {
-            let e = a as usize;
-            match self.rows[e].get(&leaf) {
-                Some(&row) => {
-                    let fresh = self.store.filter_missing(row, &vs);
-                    if !fresh.is_empty() {
-                        self.store.union_in_place(row, &fresh);
-                        self.coreset_freq[e] += fresh.len() as u64;
-                        stats.positions_added += fresh.len();
-                    }
+
+        // Pass 1 — retained rows: clear every dirty position, then put
+        // back the ones that still qualify. A row no dirty center ever
+        // touched has zero overlap and no batch, and is skipped
+        // untouched. Rows that empty out go back to the free-list (a
+        // fresh build would not have them).
+        for e in 0..self.coresets.len() {
+            let mut retained: Vec<(LeafsetId, RowId)> =
+                self.rows[e].iter().map(|(&lid, &row)| (lid, row)).collect();
+            retained.sort_unstable_by_key(|&(lid, _)| lid);
+            for (lid, row) in retained {
+                let batch = desired.remove(&(e as AttrId, lid));
+                let overlap = self.store.intersect_count_slice(row, dirty);
+                if overlap == 0 && batch.is_none() {
+                    continue;
                 }
-                None => {
-                    // Same insertion path as the build, so patched and
-                    // fresh databases share one set of row invariants.
-                    self.add_row(a, leaf, &vs);
-                    stats.rows_added += 1;
-                    stats.positions_added += vs.len();
+                let old_len = self.store.len(row);
+                let mut new_len = old_len;
+                if overlap > 0 {
+                    new_len = self.store.difference(row, dirty);
+                    stats.positions_removed += overlap;
+                }
+                if let Some(vs) = &batch {
+                    new_len = self.store.union_in_place(row, vs);
+                    stats.positions_added += new_len - (old_len - overlap);
+                }
+                if new_len >= old_len {
+                    self.coreset_freq[e] += (new_len - old_len) as u64;
+                } else {
+                    self.coreset_freq[e] -= (old_len - new_len) as u64;
+                }
+                if new_len == 0 {
+                    self.rows[e].remove(&lid);
+                    self.store.release(row);
+                    self.unlink(lid, e as CoresetId);
+                    stats.rows_removed += 1;
                 }
             }
+        }
+
+        // Pass 2 — leftover batches are (coreset, leaf) pairs that
+        // first co-occur in the evolved graph: fresh rows, through the
+        // same insertion path as the build so patched and fresh
+        // databases share one set of row invariants.
+        let mut fresh: Vec<((AttrId, AttrId), Vec<VertexId>)> = desired.into_iter().collect();
+        fresh.sort_unstable_by_key(|&(key, _)| key);
+        for ((a, leaf), vs) in fresh {
+            self.add_row(a, leaf, &vs);
+            stats.rows_added += 1;
+            stats.positions_added += vs.len();
         }
 
         self.recompute_dl_terms();
@@ -1648,7 +1711,7 @@ mod tests {
         }
     }
 
-    /// `apply_additions` must land on a database *bit-identical* (in
+    /// `apply_delta` must land on a database *bit-identical* (in
     /// every observable respect, floats included) to a fresh build of
     /// the grown graph — the invariant warm session re-mining rests on.
     #[test]
@@ -1667,7 +1730,7 @@ mod tests {
             let applied = delta.apply(&g).unwrap();
 
             let stats = db
-                .apply_additions(&applied.graph, &applied.dirty_centers)
+                .apply_delta(&applied.graph, &applied.dirty_centers)
                 .unwrap();
             assert_eq!(stats.new_coresets, 1, "value 'd' creates one coreset");
             assert!(stats.positions_added > 0);
@@ -1688,6 +1751,85 @@ mod tests {
         }
     }
 
+    /// Churn patching: removals and label changes must also land bit-
+    /// identical to a fresh build of the evolved graph, including rows
+    /// that shrink, rows that empty out and are released, and rows
+    /// whose dirty centers re-qualify with different leaves.
+    #[test]
+    fn churn_patched_database_matches_fresh_build() {
+        use cspm_graph::dynamic::GraphDelta;
+        let (g, _) = paper_example();
+        let deltas: Vec<GraphDelta> = vec![
+            {
+                let mut d = GraphDelta::new();
+                d.remove_edge(0, 1);
+                d
+            },
+            {
+                // Value "c" keeps occurring elsewhere, so the patch path
+                // stays open while rows referencing v4's c-leaf shrink.
+                let mut d = GraphDelta::new();
+                d.remove_label(2, "c");
+                d
+            },
+            {
+                let mut d = GraphDelta::new();
+                d.change_label(3, "b", "a");
+                d
+            },
+            {
+                let mut d = GraphDelta::new();
+                d.remove_vertex(1);
+                d
+            },
+        ];
+        for policy in [GainPolicy::Total, GainPolicy::DataOnly] {
+            for delta in &deltas {
+                let mut db = InvertedDb::build(&g, CoresetMode::SingleValue, policy);
+                let applied = delta.apply(&g).unwrap();
+                let stats = match db.apply_delta(&applied.graph, &applied.dirty_centers) {
+                    Ok(stats) => stats,
+                    Err(PatchError::VanishedAttribute(_)) => continue, // legit fallback
+                    Err(e) => panic!("unexpected patch error: {e}"),
+                };
+                assert!(stats.positions_removed > 0, "churn must clear positions");
+                let fresh = InvertedDb::build(&applied.graph, CoresetMode::SingleValue, policy);
+                assert_eq!(digest(&db), digest(&fresh), "delta {delta:?}");
+                assert_eq!(db.total_dl().to_bits(), fresh.total_dl().to_bits());
+                assert_eq!(db.live_leafset_count(), fresh.live_leafset_count());
+                assert_eq!(db.sharing_pairs(), fresh.sharing_pairs());
+                for &(x, y) in fresh.sharing_pairs().iter() {
+                    assert_eq!(db.pair_gain(x, y), fresh.pair_gain(x, y));
+                }
+            }
+        }
+    }
+
+    /// A removal that wipes out an attribute value's last occurrence
+    /// must be refused (a fresh build would renumber), never silently
+    /// patched into a desynced database.
+    #[test]
+    fn vanished_attribute_is_rejected_not_corrupted() {
+        use cspm_graph::dynamic::GraphDelta;
+        use cspm_graph::AttrTable;
+        // attrs: a=0 on both vertices, b=1 only on vertex 1.
+        let mut attrs = AttrTable::new();
+        let (a, b) = (attrs.intern("a"), attrs.intern("b"));
+        let g = AttributedGraph::from_edge_list(vec![vec![a], vec![a, b]], attrs, [(0u32, 1u32)])
+            .unwrap();
+        let mut db = InvertedDb::build(&g, CoresetMode::SingleValue, GainPolicy::Total);
+        assert_eq!(db.coreset_count(), 2);
+        let before = digest(&db);
+        let mut delta = GraphDelta::new();
+        delta.remove_label(1, "b");
+        let applied = delta.apply(&g).unwrap();
+        assert_eq!(
+            db.apply_delta(&applied.graph, &applied.dirty_centers),
+            Err(PatchError::VanishedAttribute(b))
+        );
+        assert_eq!(digest(&db), before, "refused patch must not mutate");
+    }
+
     #[test]
     fn patch_preconditions_are_enforced() {
         let (g, _) = paper_example();
@@ -1695,11 +1837,11 @@ mod tests {
         let (x, y) = db.sharing_pairs()[0];
         db.merge(x, y);
         assert!(!db.is_pristine());
-        assert_eq!(db.apply_additions(&g, &[]), Err(PatchError::NotPristine));
+        assert_eq!(db.apply_delta(&g, &[]), Err(PatchError::NotPristine));
 
         let mut db = InvertedDb::build(&g, CoresetMode::Slim, GainPolicy::Total);
         assert_eq!(
-            db.apply_additions(&g, &[]),
+            db.apply_delta(&g, &[]),
             Err(PatchError::UnsupportedCoresetMode)
         );
     }
@@ -1730,7 +1872,7 @@ mod tests {
         delta.add_label(0, "b");
         let applied = delta.apply(&g).unwrap();
         assert_eq!(
-            db.apply_additions(&applied.graph, &applied.dirty_centers),
+            db.apply_delta(&applied.graph, &applied.dirty_centers),
             Err(PatchError::NonCanonicalCoresets(1))
         );
 
@@ -1751,7 +1893,7 @@ mod tests {
         ); // duplicate edge: z stays unattached
         let applied = delta.apply(&g2).unwrap();
         assert_eq!(
-            db2.apply_additions(&applied.graph, &applied.dirty_centers),
+            db2.apply_delta(&applied.graph, &applied.dirty_centers),
             Err(PatchError::EmptyAttribute(1))
         );
     }
@@ -1761,7 +1903,7 @@ mod tests {
         let (g, _) = paper_example();
         let mut db = InvertedDb::build(&g, CoresetMode::SingleValue, GainPolicy::Total);
         let before = digest(&db);
-        let stats = db.apply_additions(&g, &[]).unwrap();
+        let stats = db.apply_delta(&g, &[]).unwrap();
         assert_eq!(stats, PatchStats::default());
         assert_eq!(digest(&db), before);
         assert!(db.is_pristine());

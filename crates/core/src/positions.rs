@@ -1859,6 +1859,92 @@ mod tests {
         assert_eq!(st.positions(guard).as_ref(), dense(0, 512).as_slice());
     }
 
+    /// Removal-traffic extension of the churn tests above (the windowed
+    /// streaming workload: rows shrink to empty and are released, new
+    /// rows arrive, layouts flip): sustained difference/release/insert
+    /// cycles must keep every surviving row exact, hand no recycled
+    /// span or bitmap block out undersized, and stay compactable to
+    /// exactly `live_units` with bounded fragmentation afterwards.
+    #[test]
+    fn sustained_churn_keeps_freelist_sound_and_compactable() {
+        let mut st = PostingStore::new();
+        let mut state = 0x5EEDu64;
+        let mut xs = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        // Live rows alongside their reference contents.
+        let mut live: Vec<(RowId, Vec<VertexId>)> = Vec::new();
+        for round in 0..60 {
+            // Expire back: shrink a third of the rows by a random cut;
+            // rows that empty out are released (the apply_delta row-
+            // removal path), exercising both span and block free-lists.
+            live.retain_mut(|(r, want)| {
+                if xs() % 3 != 0 {
+                    return true;
+                }
+                let cut: Vec<VertexId> = want.iter().copied().filter(|_| xs() % 4 != 0).collect();
+                let new_len = st.difference(*r, &cut);
+                difference_inplace(want, &cut);
+                assert_eq!(new_len, want.len());
+                if want.is_empty() {
+                    st.release(*r);
+                    return false;
+                }
+                true
+            });
+            // Insert front: a mix of dense (bitmap) and sparse rows.
+            for i in 0..2 {
+                let lo = (xs() % 4096) as VertexId;
+                let pos: Vec<VertexId> = if xs() % 2 == 0 {
+                    dense(lo, 128 + (xs() % 512) as usize)
+                } else {
+                    (0..(1 + xs() % 40))
+                        .map(|k| lo + (k * (1 + i)) as VertexId)
+                        .collect()
+                };
+                let mut pos = pos;
+                pos.sort_unstable();
+                pos.dedup();
+                let r = st.insert(&pos);
+                live.push((r, pos));
+            }
+            // Grow a surviving row back (union after shrink re-uses the
+            // slack or relocates through the free-list).
+            if let Some((r, want)) = live.first_mut() {
+                let grow: Vec<VertexId> = (0..8).map(|k| (xs() % 8192) as VertexId + k).collect();
+                let mut grow = grow;
+                grow.sort_unstable();
+                grow.dedup();
+                st.union_in_place(*r, &grow);
+                *want = union(want, &grow);
+            }
+            // Every row decodes exactly — a misfiled free span or an
+            // undersized recycled block would clobber a neighbour here.
+            for (r, want) in &live {
+                assert_eq!(
+                    st.positions(*r).as_ref(),
+                    want.as_slice(),
+                    "row corrupted in round {round}"
+                );
+            }
+        }
+        let live_elems: usize = live.iter().map(|(_, w)| w.len()).sum();
+        assert_eq!(st.live_len(), live_elems);
+        assert!(st.fragmentation() >= 1.0);
+        st.compact();
+        assert_eq!(st.arena_len(), st.live_units(), "compaction must be exact");
+        assert_eq!(st.fragmentation(), 1.0);
+        for (r, want) in &live {
+            assert_eq!(st.positions(*r).as_ref(), want.as_slice());
+        }
+        // Post-compaction the store still takes fresh churn.
+        let fresh = st.insert(&dense(0, 300));
+        assert_eq!(st.positions(fresh).as_ref(), dense(0, 300).as_slice());
+    }
+
     /// Compaction with mixed layouts: bitmap blocks pack first (so they
     /// stay block-aligned), sparse rows follow exactly, both keep their
     /// representation and contents, and the arena ends at live_units.

@@ -8,13 +8,15 @@
 //! and the miner is asked again and again. A [`MiningSession`] keeps
 //! the expensive state alive between calls:
 //!
-//! * the **current graph**, so evolution arrives as additive
-//!   [`GraphDelta`]s instead of full graphs;
+//! * the **current graph**, so evolution arrives as [`GraphDelta`]s —
+//!   additions, edge/label/vertex removals and label changes alike —
+//!   instead of full graphs;
 //! * the **pristine inverted database** (post-build, pre-merge), which
 //!   a delta *patches* instead of rebuilding: rows are re-derived for
-//!   the delta's dirty centers only, and the remaining per-delta work
-//!   is a few linear refresh passes — ~8× cheaper than a rebuild on
-//!   pokec-Small — see [`InvertedDb::apply_additions`];
+//!   the delta's dirty centers only (retracted memberships cleared,
+//!   surviving ones re-inserted), and the remaining per-delta work is
+//!   a few linear refresh passes — ~8× cheaper than a rebuild on
+//!   pokec-Small — see [`InvertedDb::apply_delta`];
 //! * the **posting arena** backing those rows, which survives across
 //!   calls and is compacted when patch traffic fragments it past the
 //!   configured pressure ratio ([`Miner::compact_above`]).
@@ -386,7 +388,7 @@ impl MiningSession {
 
     /// Absorbs a whole batch of deltas with **one** database patch:
     /// every delta is applied to the session graph in place, the dirty
-    /// sets are merged, and [`InvertedDb::apply_additions`] runs once
+    /// sets are merged, and [`InvertedDb::apply_delta`] runs once
     /// over the final graph. The per-patch linear refresh passes
     /// (mapping table, code table, DL terms) are thus paid once per
     /// batch instead of once per delta. (When there is no warm state
@@ -462,7 +464,7 @@ impl MiningSession {
             compacted: false,
             fragmentation: 1.0,
         };
-        match db.apply_additions(graph, &dirty) {
+        match db.apply_delta(graph, &dirty) {
             Ok(patch) => stats.patch = patch,
             Err(reason) => {
                 // Multi-value coresets (or a non-canonical database):

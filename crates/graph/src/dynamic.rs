@@ -8,10 +8,15 @@
 //! across time, exactly as the windowed alarm pipeline does.
 //!
 //! For long-lived mining sessions the evolution itself is the input:
-//! [`GraphDelta`] describes one additive step (new vertices, new edges,
-//! new labels) and [`GraphDelta::apply`] produces the grown graph plus
-//! the exact set of *dirty centers* — the vertices whose adjacency-list
-//! stars changed, which is all an incremental re-mine has to look at.
+//! [`GraphDelta`] describes one churn step — new vertices, new edges
+//! and new labels, plus edge/label/vertex *removals* and label
+//! *changes* — and [`GraphDelta::apply`] produces the evolved graph
+//! plus the exact set of *dirty centers* — the vertices whose
+//! adjacency-list stars changed, which is all an incremental re-mine
+//! has to look at. Vertex removal uses *detach* semantics: the vertex
+//! loses every label and incident edge but keeps its id slot, so
+//! vertex ids stay dense and posting positions stay comparable across
+//! the delta.
 //! [`GraphDelta::from_snapshot`] turns the next snapshot of a sequence
 //! into the delta that appends it disjointly, so replaying a
 //! [`SnapshotSequence`] through deltas reproduces [`union_graph`]
@@ -139,13 +144,18 @@ pub enum DeltaVertex {
     Added(u32),
 }
 
-/// One additive evolution step of an attributed graph: new vertices,
-/// new undirected edges, and new attribute values on existing vertices.
+/// One evolution step of an attributed graph: additions (new vertices,
+/// new undirected edges, new attribute values on existing vertices)
+/// and churn (edge removals, label removals and changes, vertex
+/// detachment).
 ///
-/// Deltas are *additive only* — the paper's dynamic application grows
-/// snapshots, it never retracts them — which is what lets an
-/// incremental miner patch its retained inverted database instead of
-/// rebuilding it: positions are only ever inserted, never removed.
+/// Removal targets are always **base-graph** vertex ids. Removing an
+/// edge or label that is absent is a no-op, symmetric to duplicate
+/// additions; a vertex removal *detaches* — it drops every label and
+/// incident edge but keeps the id slot as an isolated label-less
+/// vertex, so vertex ids stay dense and position sets stay comparable.
+/// Within one application churn runs before additions, so a delta can
+/// detach a vertex and re-wire it in the same step.
 ///
 /// Attribute values are carried **by name** and reconciled against the
 /// base graph's interner at [`Self::apply`] time, exactly like
@@ -164,6 +174,16 @@ pub struct GraphDelta {
     edges: Vec<(DeltaVertex, DeltaVertex)>,
     /// Attribute values added to existing vertices.
     labels: Vec<(VertexId, String)>,
+    /// Undirected edges to remove, both endpoints base-graph ids.
+    removed_edges: Vec<(VertexId, VertexId)>,
+    /// Attribute values removed from existing vertices.
+    removed_labels: Vec<(VertexId, String)>,
+    /// Base-graph vertices to detach (labels and edges dropped, id
+    /// slot retained).
+    removed_vertices: Vec<VertexId>,
+    /// Attribute-value changes on existing vertices: `(v, old, new)`
+    /// drops `old` (when present) and attaches `new` (when absent).
+    changed_labels: Vec<(VertexId, String, String)>,
 }
 
 /// Result of [`GraphDelta::apply`]: the grown graph plus the dirty set.
@@ -172,9 +192,10 @@ pub struct AppliedDelta {
     /// The base graph with the delta applied.
     pub graph: AttributedGraph,
     /// Sorted, deduplicated ids of every vertex whose *star* changed —
-    /// it is new, gained an edge, gained a label, or has a neighbour
-    /// that gained a label. Rows of the inverted database can only have
-    /// changed at these centers; everything else is untouched.
+    /// it is new, gained or lost an edge or a label, was detached, or
+    /// has a neighbour whose label set changed. Rows of the inverted
+    /// database can only have changed at these centers; everything
+    /// else is untouched.
     pub dirty_centers: Vec<VertexId>,
 }
 
@@ -190,6 +211,16 @@ impl GraphDelta {
             && self.vertices.is_empty()
             && self.edges.is_empty()
             && self.labels.is_empty()
+            && !self.has_churn()
+    }
+
+    /// Whether the delta carries any removal or change — the sections
+    /// an additive-only (store version 1) consumer cannot decode.
+    pub fn has_churn(&self) -> bool {
+        !self.removed_edges.is_empty()
+            || !self.removed_labels.is_empty()
+            || !self.removed_vertices.is_empty()
+            || !self.changed_labels.is_empty()
     }
 
     /// Number of vertices this delta adds.
@@ -230,6 +261,34 @@ impl GraphDelta {
         self.declared.push(value.as_ref().to_string());
     }
 
+    /// Removes the undirected edge `{u, v}` between two base-graph
+    /// vertices. Removing an absent edge is a no-op at apply time.
+    pub fn remove_edge(&mut self, u: VertexId, v: VertexId) {
+        self.removed_edges.push((u, v));
+    }
+
+    /// Removes attribute value `value` from base-graph vertex `v`.
+    /// Removing an absent value is a no-op at apply time.
+    pub fn remove_label(&mut self, v: VertexId, value: impl AsRef<str>) {
+        self.removed_labels.push((v, value.as_ref().to_string()));
+    }
+
+    /// Detaches base-graph vertex `v`: drops all its labels and
+    /// incident edges but keeps the id slot, so vertex ids stay dense.
+    /// Detaching an already-isolated label-less vertex is a no-op.
+    pub fn remove_vertex(&mut self, v: VertexId) {
+        self.removed_vertices.push(v);
+    }
+
+    /// Changes an attribute value on base-graph vertex `v`: `old` is
+    /// dropped when present, `new` attached when absent (each half
+    /// no-ops independently, like [`Self::remove_label`] and
+    /// [`Self::add_label`]).
+    pub fn change_label(&mut self, v: VertexId, old: impl AsRef<str>, new: impl AsRef<str>) {
+        self.changed_labels
+            .push((v, old.as_ref().to_string(), new.as_ref().to_string()));
+    }
+
     /// The delta that appends `snapshot` as a disjoint component — the
     /// evolution step between consecutive prefixes of a
     /// [`SnapshotSequence`]'s union graph. The snapshot's attribute
@@ -265,6 +324,13 @@ impl GraphDelta {
     /// `docs/FORMATS.md`). [`Self::from_bytes`] inverts it exactly:
     /// declared values, vertices, edges and labels keep their order, so
     /// the decoded delta applies bit-identically.
+    ///
+    /// The four churn sections (removed edges, removed labels, removed
+    /// vertices, label changes) are appended only when the delta
+    /// [`Self::has_churn`]: purely additive deltas keep the exact
+    /// version-1 encoding, and an additive-only decoder hitting a
+    /// churn-carrying record fails typed on the trailing bytes rather
+    /// than silently replaying half the delta.
     pub fn write_bytes(&self, out: &mut Vec<u8>) {
         put_u32(out, self.declared.len() as u32);
         for value in &self.declared {
@@ -296,6 +362,28 @@ impl GraphDelta {
         for (v, value) in &self.labels {
             put_u32(out, *v);
             put_str(out, value);
+        }
+        if self.has_churn() {
+            put_u32(out, self.removed_edges.len() as u32);
+            for &(u, v) in &self.removed_edges {
+                put_u32(out, u);
+                put_u32(out, v);
+            }
+            put_u32(out, self.removed_labels.len() as u32);
+            for (v, value) in &self.removed_labels {
+                put_u32(out, *v);
+                put_str(out, value);
+            }
+            put_u32(out, self.removed_vertices.len() as u32);
+            for &v in &self.removed_vertices {
+                put_u32(out, v);
+            }
+            put_u32(out, self.changed_labels.len() as u32);
+            for (v, old, new) in &self.changed_labels {
+                put_u32(out, *v);
+                put_str(out, old);
+                put_str(out, new);
+            }
         }
     }
 
@@ -337,6 +425,26 @@ impl GraphDelta {
             let v = r.u32()?;
             delta.labels.push((v, r.str()?));
         }
+        // Churn sections are present exactly when bytes remain (see
+        // write_bytes): an additive record ends here.
+        if r.remaining() > 0 {
+            for _ in 0..r.bounded_count(8)? {
+                let u = r.u32()?;
+                delta.removed_edges.push((u, r.u32()?));
+            }
+            for _ in 0..r.bounded_count(8)? {
+                let v = r.u32()?;
+                delta.removed_labels.push((v, r.str()?));
+            }
+            for _ in 0..r.bounded_count(4)? {
+                delta.removed_vertices.push(r.u32()?);
+            }
+            for _ in 0..r.bounded_count(12)? {
+                let v = r.u32()?;
+                let old = r.str()?;
+                delta.changed_labels.push((v, old, r.str()?));
+            }
+        }
         r.finish()?;
         Ok(delta)
     }
@@ -367,10 +475,32 @@ impl GraphDelta {
                 return Err(GraphError::SelfLoop(u));
             }
         }
+        // Churn targets are base-graph ids only: a vertex added by this
+        // delta cannot also be removed or relabelled by it.
+        let known = |v: VertexId| {
+            if v < base_n {
+                Ok(())
+            } else {
+                Err(GraphError::UnknownVertex(v))
+            }
+        };
+        for &(u, v) in &self.removed_edges {
+            known(u)?;
+            known(v)?;
+        }
+        for &(v, _) in &self.removed_labels {
+            known(v)?;
+        }
+        for &v in &self.removed_vertices {
+            known(v)?;
+        }
+        for &(v, _, _) in &self.changed_labels {
+            known(v)?;
+        }
         Ok(())
     }
 
-    /// Applies the delta to `base`, producing the grown graph and the
+    /// Applies the delta to `base`, producing the evolved graph and the
     /// set of dirty centers (see [`AppliedDelta`]). The base graph is
     /// untouched; attribute names unseen by its interner are appended
     /// in first-use order, so repeated application is deterministic.
@@ -405,6 +535,65 @@ impl GraphDelta {
         // delta's contract (see from_snapshot).
         for value in &self.declared {
             g.attrs.intern(value);
+        }
+
+        // Churn before additions, so a delta can detach a vertex and
+        // re-wire it in the same step. Edge removal changes exactly the
+        // two endpoint stars; label removal/change also changes every
+        // current neighbour's leaves; detachment covers both.
+        for &(u, v) in &self.removed_edges {
+            if let Ok(pos) = g.adjacency[u as usize].binary_search(&v) {
+                g.adjacency[u as usize].remove(pos);
+                let pos = g.adjacency[v as usize]
+                    .binary_search(&u)
+                    .expect("adjacency lists agree");
+                g.adjacency[v as usize].remove(pos);
+                g.edge_count -= 1;
+                dirty.push(u);
+                dirty.push(v);
+            }
+        }
+
+        let drop_label =
+            |g: &mut AttributedGraph, dirty: &mut Vec<VertexId>, v: VertexId, value: &str| {
+                let Some(a) = g.attrs.get(value) else {
+                    return; // never-interned value: trivially absent
+                };
+                let list = &mut g.labels[v as usize];
+                if let Ok(pos) = list.binary_search(&a) {
+                    list.remove(pos);
+                    dirty.push(v);
+                    dirty.extend_from_slice(&g.adjacency[v as usize]);
+                }
+            };
+        for (v, value) in &self.removed_labels {
+            drop_label(g, &mut dirty, *v, value);
+        }
+        for (v, old, new) in &self.changed_labels {
+            drop_label(g, &mut dirty, *v, old);
+            let a = g.attrs.intern(new);
+            let list = &mut g.labels[*v as usize];
+            if let Err(pos) = list.binary_search(&a) {
+                list.insert(pos, a);
+                dirty.push(*v);
+                dirty.extend_from_slice(&g.adjacency[*v as usize]);
+            }
+        }
+
+        for &v in &self.removed_vertices {
+            let neighbours = std::mem::take(&mut g.adjacency[v as usize]);
+            for &u in &neighbours {
+                let pos = g.adjacency[u as usize]
+                    .binary_search(&v)
+                    .expect("adjacency lists agree");
+                g.adjacency[u as usize].remove(pos);
+                dirty.push(u);
+            }
+            g.edge_count -= neighbours.len();
+            if !neighbours.is_empty() || !g.labels[v as usize].is_empty() {
+                dirty.push(v);
+            }
+            g.labels[v as usize].clear();
         }
 
         // New vertices: interned, sorted, deduplicated — the shape
@@ -658,6 +847,167 @@ mod tests {
             "replayed attr table must match the union's id for id"
         );
         assert_eq!(current.attrs().get("unused"), union.attrs().get("unused"));
+    }
+
+    #[test]
+    fn churn_removes_edges_labels_and_detaches() {
+        let (g, a) = paper_example();
+        let mut delta = GraphDelta::new();
+        delta.remove_edge(0, 1);
+        let applied = delta.apply(&g).unwrap();
+        assert!(!applied.graph.has_edge(0, 1));
+        assert_eq!(applied.graph.edge_count(), g.edge_count() - 1);
+        assert_eq!(applied.dirty_centers, vec![0, 1]);
+
+        // Label removal dirties the vertex and its whole neighbourhood.
+        let mut delta = GraphDelta::new();
+        delta.remove_label(0, "a");
+        let applied = delta.apply(&g).unwrap();
+        assert!(!applied.graph.has_label(0, a.a));
+        let mut want = vec![0];
+        want.extend_from_slice(g.neighbors(0));
+        want.sort_unstable();
+        assert_eq!(applied.dirty_centers, want);
+
+        // Detach: labels and edges gone, id slot retained.
+        let mut delta = GraphDelta::new();
+        delta.remove_vertex(0);
+        let applied = delta.apply(&g).unwrap();
+        let h = &applied.graph;
+        assert_eq!(h.vertex_count(), g.vertex_count());
+        assert!(h.labels(0).is_empty());
+        assert!(h.neighbors(0).is_empty());
+        assert_eq!(h.edge_count(), g.edge_count() - g.neighbors(0).len());
+        let mut want = vec![0];
+        want.extend_from_slice(g.neighbors(0));
+        want.sort_unstable();
+        assert_eq!(applied.dirty_centers, want);
+    }
+
+    #[test]
+    fn change_label_swaps_value_and_dirties_neighbourhood() {
+        let (g, a) = paper_example();
+        let mut delta = GraphDelta::new();
+        delta.change_label(0, "a", "zz");
+        let applied = delta.apply(&g).unwrap();
+        let h = &applied.graph;
+        assert!(!h.has_label(0, a.a));
+        let zz = h.attrs().get("zz").unwrap();
+        assert!(h.has_label(0, zz));
+        let mut want = vec![0];
+        want.extend_from_slice(g.neighbors(0));
+        want.sort_unstable();
+        assert_eq!(applied.dirty_centers, want);
+        // Labels stay sorted after the swap.
+        assert!(h.labels(0).windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn removal_no_ops_do_not_dirty() {
+        let (g, _) = paper_example();
+        let mut delta = GraphDelta::new();
+        delta.remove_edge(0, 4); // absent edge
+        delta.remove_label(0, "never-interned");
+        assert!(!delta.is_empty());
+        assert!(delta.has_churn());
+        let applied = delta.apply(&g).unwrap();
+        assert_eq!(applied.graph, g, "no-op removals must not mutate");
+        assert!(applied.dirty_centers.is_empty());
+
+        // Detaching an already-detached vertex is a no-op the second time.
+        let mut delta = GraphDelta::new();
+        delta.remove_vertex(2);
+        let once = delta.apply(&g).unwrap();
+        let twice = delta.apply(&once.graph).unwrap();
+        assert_eq!(twice.graph, once.graph);
+        assert!(twice.dirty_centers.is_empty());
+    }
+
+    #[test]
+    fn churn_rejects_out_of_range_targets() {
+        let (g, _) = paper_example();
+        for delta in [
+            {
+                let mut d = GraphDelta::new();
+                d.remove_edge(0, 99);
+                d
+            },
+            {
+                let mut d = GraphDelta::new();
+                d.remove_label(99, "a");
+                d
+            },
+            {
+                let mut d = GraphDelta::new();
+                d.remove_vertex(99);
+                d
+            },
+            {
+                let mut d = GraphDelta::new();
+                d.change_label(99, "a", "b");
+                d
+            },
+        ] {
+            assert!(matches!(
+                delta.apply(&g),
+                Err(GraphError::UnknownVertex(99))
+            ));
+        }
+        // Churn targets are base ids: a vertex added by the same delta
+        // is out of range for removal.
+        let mut h = g.clone();
+        let mut delta = GraphDelta::new();
+        delta.add_vertex(["d"]);
+        delta.remove_vertex(5);
+        assert!(matches!(
+            delta.apply_in_place(&mut h),
+            Err(GraphError::UnknownVertex(5))
+        ));
+        assert_eq!(h, g, "failed churn apply must not mutate");
+    }
+
+    #[test]
+    fn detach_then_rewire_in_one_delta() {
+        let (g, _) = paper_example();
+        let mut delta = GraphDelta::new();
+        delta.remove_vertex(4);
+        delta.add_label(4, "fresh");
+        delta.add_edge(DeltaVertex::Existing(4), DeltaVertex::Existing(0));
+        let applied = delta.apply(&g).unwrap();
+        let h = &applied.graph;
+        let fresh = h.attrs().get("fresh").unwrap();
+        assert_eq!(h.labels(4), &[fresh]);
+        assert_eq!(h.neighbors(4), &[0]);
+        assert!(applied.dirty_centers.contains(&4));
+        assert!(applied.dirty_centers.contains(&0));
+    }
+
+    #[test]
+    fn churn_codec_roundtrips_and_additive_encoding_is_unchanged() {
+        // Additive deltas must keep the exact version-1 byte layout:
+        // no churn sections are appended.
+        let mut additive = GraphDelta::new();
+        let w = additive.add_vertex(["d"]);
+        additive.add_edge(w, DeltaVertex::Existing(0));
+        let bytes = additive.to_bytes();
+        let mut churny = additive.clone();
+        churny.remove_edge(0, 1);
+        assert!(churny.to_bytes().len() > bytes.len());
+        assert!(churny.to_bytes().starts_with(&bytes));
+
+        let decoded = GraphDelta::from_bytes(&churny.to_bytes()).unwrap();
+        assert_eq!(decoded, churny);
+        assert_eq!(decoded.to_bytes(), churny.to_bytes());
+
+        // Full churn delta roundtrips exactly.
+        let mut d = GraphDelta::new();
+        d.remove_edge(1, 2);
+        d.remove_label(0, "a");
+        d.remove_vertex(3);
+        d.change_label(2, "b", "市場");
+        let decoded = GraphDelta::from_bytes(&d.to_bytes()).unwrap();
+        assert_eq!(decoded, d);
+        assert!(decoded.has_churn());
     }
 
     #[test]

@@ -52,8 +52,9 @@ fn base_graph(seed: u64) -> AttributedGraph {
 
 /// Random delta over `base`: declared-only values, new vertices with
 /// 0–3 attribute values, edges among new and existing vertices, labels
-/// onto existing vertices. Every structural feature of the format gets
-/// exercised at some seed.
+/// onto existing vertices, plus churn — edge/label removals, vertex
+/// detachments and label changes over base ids. Every structural
+/// feature of the format gets exercised at some seed.
 fn random_delta(seed: u64, base: &AttributedGraph) -> GraphDelta {
     let mut s = seed.max(1);
     let mut d = GraphDelta::new();
@@ -93,6 +94,24 @@ fn random_delta(seed: u64, base: &AttributedGraph) -> GraphDelta {
     }
     for _ in 0..xorshift(&mut s) % 3 {
         d.add_label((xorshift(&mut s) % base_n as u64) as u32, name(&mut s));
+    }
+    // Churn over base ids: absent targets are apply-time no-ops, so any
+    // random pick keeps the delta valid.
+    let vertex = |s: &mut u64| (xorshift(s) % base_n as u64) as u32;
+    for _ in 0..xorshift(&mut s) % 3 {
+        let (u, v) = (vertex(&mut s), vertex(&mut s));
+        if u != v {
+            d.remove_edge(u, v);
+        }
+    }
+    for _ in 0..xorshift(&mut s) % 3 {
+        d.remove_label(vertex(&mut s), name(&mut s));
+    }
+    if xorshift(&mut s).is_multiple_of(4) {
+        d.remove_vertex(vertex(&mut s));
+    }
+    for _ in 0..xorshift(&mut s) % 2 {
+        d.change_label(vertex(&mut s), name(&mut s), name(&mut s));
     }
     d
 }

@@ -278,16 +278,25 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
 /// Builds a [`GraphDelta`] from a request's delta fields:
 ///
 /// ```json
-/// {"add_vertices": [["a","b"], []],
-///  "add_edges":    [[0, {"new": 0}], [{"new": 0}, {"new": 1}]],
-///  "add_labels":   [[3, "c"]]}
+/// {"add_vertices":    [["a","b"], []],
+///  "add_edges":       [[0, {"new": 0}], [{"new": 0}, {"new": 1}]],
+///  "add_labels":      [[3, "c"]],
+///  "remove_edges":    [[0, 2]],
+///  "remove_labels":   [[1, "b"]],
+///  "remove_vertices": [4],
+///  "change_labels":   [[3, "c", "d"]]}
 /// ```
 ///
 /// `add_vertices[i]` is the label list of the delta's `i`-th new
 /// vertex; edge endpoints are base-graph vertex ids (integers) or
 /// `{"new": i}` references to those new vertices; `add_labels` attaches
-/// a value to an existing vertex. All three fields are optional — an
-/// absent field adds nothing.
+/// a value to an existing vertex. The churn fields take base-graph ids
+/// only (a vertex added by the same delta cannot be removed by it):
+/// `remove_edges` drops edges, `remove_labels` drops one value off a
+/// vertex, `remove_vertices` detaches vertices (labels and incident
+/// edges go, the id slot stays), `change_labels` swaps `old` for `new`
+/// on a vertex. Absent removal targets are no-ops at apply time. All
+/// fields are optional — an absent field changes nothing.
 pub fn delta_from_value(v: &Value) -> Result<GraphDelta, ProtoError> {
     let bad = |msg: String| ProtoError::new(ErrorCode::BadDelta, msg);
     let mut delta = GraphDelta::new();
@@ -374,9 +383,86 @@ pub fn delta_from_value(v: &Value) -> Result<GraphDelta, ProtoError> {
         }
     }
 
+    let base_id = |x: &Value, what: &str| -> Result<VertexId, ProtoError> {
+        x.as_u64()
+            .and_then(|id| VertexId::try_from(id).ok())
+            .ok_or_else(|| bad(format!("{what} must be a base-graph vertex id")))
+    };
+
+    if let Some(es) = v.get("remove_edges") {
+        if !matches!(es, Value::Null) {
+            let es = es
+                .as_arr()
+                .ok_or_else(|| bad("remove_edges must be an array of [u, v] id pairs".into()))?;
+            for (i, pair) in es.iter().enumerate() {
+                let pair = pair
+                    .as_arr()
+                    .filter(|p| p.len() == 2)
+                    .ok_or_else(|| bad(format!("remove_edges[{i}] must be a [u, v] id pair")))?;
+                let u = base_id(&pair[0], &format!("remove_edges[{i}][0]"))?;
+                let w = base_id(&pair[1], &format!("remove_edges[{i}][1]"))?;
+                delta.remove_edge(u, w);
+            }
+        }
+    }
+
+    if let Some(ls) = v.get("remove_labels") {
+        if !matches!(ls, Value::Null) {
+            let ls = ls.as_arr().ok_or_else(|| {
+                bad("remove_labels must be an array of [vertex, value] pairs".into())
+            })?;
+            for (i, pair) in ls.iter().enumerate() {
+                let pair = pair.as_arr().filter(|p| p.len() == 2).ok_or_else(|| {
+                    bad(format!("remove_labels[{i}] must be a [vertex, value] pair"))
+                })?;
+                let vid = base_id(&pair[0], &format!("remove_labels[{i}][0]"))?;
+                let value = pair[1]
+                    .as_str()
+                    .ok_or_else(|| bad(format!("remove_labels[{i}][1] must be a string")))?;
+                delta.remove_label(vid, value);
+            }
+        }
+    }
+
+    if let Some(vs) = v.get("remove_vertices") {
+        if !matches!(vs, Value::Null) {
+            let vs = vs
+                .as_arr()
+                .ok_or_else(|| bad("remove_vertices must be an array of vertex ids".into()))?;
+            for (i, id) in vs.iter().enumerate() {
+                delta.remove_vertex(base_id(id, &format!("remove_vertices[{i}]"))?);
+            }
+        }
+    }
+
+    if let Some(cs) = v.get("change_labels") {
+        if !matches!(cs, Value::Null) {
+            let cs = cs.as_arr().ok_or_else(|| {
+                bad("change_labels must be an array of [vertex, old, new] triples".into())
+            })?;
+            for (i, triple) in cs.iter().enumerate() {
+                let triple = triple.as_arr().filter(|t| t.len() == 3).ok_or_else(|| {
+                    bad(format!(
+                        "change_labels[{i}] must be a [vertex, old, new] triple"
+                    ))
+                })?;
+                let vid = base_id(&triple[0], &format!("change_labels[{i}][0]"))?;
+                let old = triple[1]
+                    .as_str()
+                    .ok_or_else(|| bad(format!("change_labels[{i}][1] must be a string")))?;
+                let new = triple[2]
+                    .as_str()
+                    .ok_or_else(|| bad(format!("change_labels[{i}][2] must be a string")))?;
+                delta.change_label(vid, old, new);
+            }
+        }
+    }
+
     if delta.is_empty() {
         return Err(bad(
-            "delta adds nothing (need add_vertices, add_edges, or add_labels)".into(),
+            "delta changes nothing (need add_vertices, add_edges, add_labels, \
+             remove_edges, remove_labels, remove_vertices, or change_labels)"
+                .into(),
         ));
     }
     Ok(delta)
@@ -484,6 +570,44 @@ mod tests {
         let d = delta_from_value(&v).unwrap();
         assert_eq!(d.added_vertex_count(), 2);
         assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn delta_builds_churn_fields() {
+        let v = crate::json::parse(
+            r#"{"remove_edges":[[0,2]],
+                "remove_labels":[[1,"b"]],
+                "remove_vertices":[4],
+                "change_labels":[[3,"c","d"]]}"#,
+        )
+        .unwrap();
+        let d = delta_from_value(&v).unwrap();
+        assert!(d.has_churn());
+        assert!(!d.is_empty());
+        assert_eq!(d.added_vertex_count(), 0);
+    }
+
+    #[test]
+    fn malformed_churn_fields_get_typed_errors() {
+        let cases = [
+            // Wrong arity, wrong element types, non-array fields, and
+            // `{"new": i}` references (churn takes base ids only).
+            r#"{"remove_edges":[[0]]}"#,
+            r#"{"remove_edges":[[0,{"new":0}]]}"#,
+            r#"{"remove_edges":"all"}"#,
+            r#"{"remove_labels":[[1,2]]}"#,
+            r#"{"remove_labels":[["a",1]]}"#,
+            r#"{"remove_vertices":[-1]}"#,
+            r#"{"remove_vertices":["v0"]}"#,
+            r#"{"change_labels":[[3,"c"]]}"#,
+            r#"{"change_labels":[[3,"c",4]]}"#,
+            r#"{"change_labels":{"3":"c"}}"#,
+        ];
+        for case in cases {
+            let v = crate::json::parse(case).unwrap();
+            let e = delta_from_value(&v).unwrap_err();
+            assert_eq!(e.code, ErrorCode::BadDelta, "{case}");
+        }
     }
 
     #[test]

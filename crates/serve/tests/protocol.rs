@@ -171,6 +171,51 @@ fn deltas_patch_warm_state_bit_identically() {
 }
 
 #[test]
+fn churn_deltas_keep_a_warm_tenant_bit_identical_to_one_shot() {
+    let dir = temp_dir("churn");
+    let server = Server::spawn(ServerConfig::new(dir.join("d.sock"))).unwrap();
+    let (g, _) = paper_example();
+
+    let mut c = Client::connect(server.socket());
+    c.open_with_graph("t1", &g);
+    c.mine("t1");
+
+    // Churn round 1: drop an edge, swap a label, grow one vertex.
+    let resp = c.request(
+        r#"{"op":"delta","session":"t1","remove_edges":[[0,1]],"change_labels":[[4,"b","c"]],"add_vertices":[["a"]],"add_edges":[[{"new":0},2]]}"#,
+    );
+    assert!(resp.get("dirty_centers").unwrap().as_u64().unwrap() > 0);
+    let mut d1 = GraphDelta::new();
+    d1.remove_edge(0, 1);
+    d1.change_label(4, "b", "c");
+    let v = d1.add_vertex(["a"]);
+    d1.add_edge(v, DeltaVertex::Existing(2));
+    let after1 = d1.apply(&g).unwrap().graph;
+    let mined = c.mine("t1");
+    assert_eq!(
+        mined.get("final_dl_bits").unwrap().as_str(),
+        Some(one_shot_bits(&after1).as_str()),
+        "churn round 1: warm mining must equal a cold mine of the evolved graph"
+    );
+
+    // Churn round 2: detach a vertex and strip the last "b" — the
+    // vanished attribute forces the session down its rebuild fallback,
+    // which must be just as bit-identical.
+    c.request(r#"{"op":"delta","session":"t1","remove_vertices":[1],"remove_labels":[[3,"b"]]}"#);
+    let mut d2 = GraphDelta::new();
+    d2.remove_vertex(1);
+    d2.remove_label(3, "b");
+    let after2 = d2.apply(&after1).unwrap().graph;
+    let mined = c.mine("t1");
+    assert_eq!(
+        mined.get("final_dl_bits").unwrap().as_str(),
+        Some(one_shot_bits(&after2).as_str()),
+        "churn round 2: rebuild fallback must stay bit-identical"
+    );
+    server.stop().unwrap();
+}
+
+#[test]
 fn malformed_input_gets_typed_errors_and_never_wedges_the_connection() {
     let dir = temp_dir("errors");
     let server = Server::spawn(ServerConfig::new(dir.join("d.sock"))).unwrap();
@@ -203,6 +248,32 @@ fn malformed_input_gets_typed_errors_and_never_wedges_the_connection() {
     // still typed, and the session survives.
     assert_eq!(
         c.request_err(r#"{"op":"delta","session":"t1","add_labels":[[999,"x"]]}"#),
+        "bad_delta"
+    );
+    // Malformed churn ops: wrong arity, wrong types, `{"new": i}`
+    // where only base ids are allowed, out-of-range targets.
+    assert_eq!(
+        c.request_err(r#"{"op":"delta","session":"t1","remove_edges":[[0]]}"#),
+        "bad_delta"
+    );
+    assert_eq!(
+        c.request_err(r#"{"op":"delta","session":"t1","remove_edges":[[0,{"new":0}]]}"#),
+        "bad_delta"
+    );
+    assert_eq!(
+        c.request_err(r#"{"op":"delta","session":"t1","remove_labels":[[0,7]]}"#),
+        "bad_delta"
+    );
+    assert_eq!(
+        c.request_err(r#"{"op":"delta","session":"t1","remove_vertices":["v0"]}"#),
+        "bad_delta"
+    );
+    assert_eq!(
+        c.request_err(r#"{"op":"delta","session":"t1","remove_vertices":[999]}"#),
+        "bad_delta"
+    );
+    assert_eq!(
+        c.request_err(r#"{"op":"delta","session":"t1","change_labels":[[0,"a"]]}"#),
         "bad_delta"
     );
     assert_eq!(

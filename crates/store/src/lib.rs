@@ -61,8 +61,11 @@ pub use fault::{Fault, FaultFile, FaultTarget};
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"CSPS";
 /// WAL file magic (`CSWL` — CSPM write-ahead log).
 pub const WAL_MAGIC: [u8; 4] = *b"CSWL";
-/// Store format version, shared by both files.
-pub const STORE_VERSION: u16 = 1;
+/// Store format version, shared by both files. Version 2 added the
+/// churn WAL record ([`TAG_DELTA_CHURN`]) for deltas carrying
+/// removals or label changes; version-1 files (additive records only)
+/// still open and replay.
+pub const STORE_VERSION: u16 = 2;
 
 /// Snapshot frame: session metadata (generation, mode, gain policy).
 const TAG_META: u8 = 0x01;
@@ -72,8 +75,25 @@ const TAG_GRAPH: u8 = 0x02;
 const TAG_DB: u8 = 0x03;
 /// WAL frame: the log's generation (must match the snapshot's).
 const TAG_WAL_GEN: u8 = 0x10;
-/// WAL frame: one serialized [`GraphDelta`].
+/// WAL frame: one serialized additive [`GraphDelta`].
 const TAG_DELTA: u8 = 0x20;
+/// WAL frame: one serialized [`GraphDelta`] that carries churn
+/// (removals or label changes). A distinct tag so the record kind is
+/// visible to tooling without decoding the payload; the payload codec
+/// is self-describing either way. Introduced in store version 2 —
+/// version-1 readers never see it because they refuse v2 files at the
+/// header.
+const TAG_DELTA_CHURN: u8 = 0x21;
+
+/// The WAL record tag for a delta: churn-bearing deltas get their own
+/// kind, purely additive ones keep the version-1 record.
+fn delta_tag(d: &GraphDelta) -> u8 {
+    if d.has_churn() {
+        TAG_DELTA_CHURN
+    } else {
+        TAG_DELTA
+    }
+}
 
 /// Coreset-mode tags persisted in the META frame.
 const MODE_SINGLE: u8 = 0;
@@ -576,7 +596,7 @@ impl SessionStore {
         }
         let mut buf = Vec::new();
         for d in deltas {
-            write_frame(&mut buf, TAG_DELTA, &d.to_bytes());
+            write_frame(&mut buf, delta_tag(d), &d.to_bytes());
         }
         let fault = self.take_fault(FaultTarget::WalAppend);
         let WalHandle::Ready(file) = &mut self.wal else {
@@ -612,7 +632,7 @@ impl SessionStore {
         put_u64(&mut gen_payload, self.generation);
         write_frame(&mut bytes, TAG_WAL_GEN, &gen_payload);
         for d in deltas {
-            write_frame(&mut bytes, TAG_DELTA, &d.to_bytes());
+            write_frame(&mut bytes, delta_tag(d), &d.to_bytes());
         }
         let fault = self.take_fault(FaultTarget::WalReset);
         write_file_atomic(
@@ -679,20 +699,25 @@ impl SessionStore {
         loop {
             match read_frame(&bytes, pos) {
                 Ok(None) => break,
-                Ok(Some((TAG_DELTA, payload, next))) => match GraphDelta::from_bytes(payload) {
-                    Ok(d) => {
-                        deltas.push(d);
-                        valid_end = next;
-                        pos = next;
+                // Both record kinds decode through the same codec; the
+                // tag only distinguishes them for tooling.
+                Ok(Some((TAG_DELTA | TAG_DELTA_CHURN, payload, next))) => {
+                    match GraphDelta::from_bytes(payload) {
+                        Ok(d) => {
+                            deltas.push(d);
+                            valid_end = next;
+                            pos = next;
+                        }
+                        Err(_) => {
+                            // CRC passed but the payload is not a
+                            // delta: written-corrupt. Same treatment
+                            // as a torn tail — nothing after it can
+                            // be trusted.
+                            dropped = (bytes.len() - valid_end) as u64;
+                            break;
+                        }
                     }
-                    Err(_) => {
-                        // CRC passed but the payload is not a delta:
-                        // written-corrupt. Same treatment as a torn
-                        // tail — nothing after it can be trusted.
-                        dropped = (bytes.len() - valid_end) as u64;
-                        break;
-                    }
-                },
+                }
                 Ok(Some((_, _, next))) => {
                     // Unknown-but-intact frame: skip (same-version
                     // forward compatibility), keep it in the file.

@@ -75,7 +75,12 @@ fn fixture_graph(state: &mut u64) -> AttributedGraph {
     b.build().unwrap()
 }
 
-/// Seed-derived delta: one new vertex wired to 1–2 existing ones.
+/// Seed-derived delta: one new vertex wired to 1–2 existing ones,
+/// plus churn — a guaranteed ring-edge removal (so every seed logs a
+/// churn record and sweeps the churn WAL kind), and seed-dependent
+/// label changes / vertex detachment. Removal targets are base ids
+/// and absent targets no-op at apply, so any two fixture deltas stay
+/// valid in either order.
 fn fixture_delta(state: &mut u64, base_vertices: u32) -> GraphDelta {
     const POOL: [&str; 6] = ["a", "b", "c", "d", "e", "f"];
     let mut d = GraphDelta::new();
@@ -88,6 +93,19 @@ fn fixture_delta(state: &mut u64, base_vertices: u32) -> GraphDelta {
         if w != u {
             d.add_edge(v, DeltaVertex::Existing(w));
         }
+    }
+    let r = (xorshift(state) % base_vertices as u64) as u32;
+    d.remove_edge(r, (r + 1) % base_vertices);
+    if xorshift(state).is_multiple_of(2) {
+        let t = (xorshift(state) % base_vertices as u64) as u32;
+        let old = POOL[(xorshift(state) % 6) as usize];
+        let new = POOL[(xorshift(state) % 6) as usize];
+        if old != new {
+            d.change_label(t, old, new);
+        }
+    }
+    if xorshift(state).is_multiple_of(4) {
+        d.remove_vertex((xorshift(state) % base_vertices as u64) as u32);
     }
     d
 }
@@ -247,6 +265,16 @@ fn append_len(sc: &Scenario) -> u64 {
     after - before
 }
 
+/// Byte length of the snapshot a checkpoint writes (the *post-d0*
+/// state — churn in `d0` can make it shorter than the pristine file,
+/// so the snapshot sweeps must measure it rather than assume it).
+fn checkpoint_snapshot_len(sc: &Scenario) -> u64 {
+    let (path, mut durable) = sc.open_fresh_copy("measure-snapshot");
+    durable.checkpoint().unwrap();
+    drop(durable);
+    fs::metadata(&path).unwrap().len()
+}
+
 #[test]
 fn wal_append_fault_sweep_recovers_pre_delta_state() {
     let sc = Scenario::build();
@@ -293,7 +321,7 @@ fn wal_append_fault_sweep_recovers_pre_delta_state() {
 #[test]
 fn snapshot_kill_sweep_preserves_pre_checkpoint_state_exactly() {
     let sc = Scenario::build();
-    let len = sc.snapshot.len() as u64;
+    let len = checkpoint_snapshot_len(&sc);
     // Kill at every byte of the temp-file write: the rename never
     // happens, so the old snapshot + WAL must read back untouched.
     for at in 0..len {
@@ -318,7 +346,7 @@ fn snapshot_kill_sweep_preserves_pre_checkpoint_state_exactly() {
 #[test]
 fn snapshot_silent_damage_sweep_is_always_detected() {
     let sc = Scenario::build();
-    let len = sc.snapshot.len() as u64;
+    let len = checkpoint_snapshot_len(&sc);
     for at in 0..len {
         for fault in [Fault::Truncate { at }, Fault::Flip { at }] {
             let label = format!("snapshot {fault:?}");
@@ -431,6 +459,48 @@ fn wal_unavailable_after_failed_reset_until_checkpoint_heals() {
     reference.stage_delta(&sc.d1).unwrap();
     reference.stage_delta(&sc.d1).unwrap();
     Reference::of(&mut reference).assert_matches(&mut reopened, "healed store");
+}
+
+#[test]
+fn version_1_files_without_churn_records_still_replay() {
+    // A store written by the previous binary: additive-only deltas and
+    // version-1 headers. The body formats are unchanged between v1 and
+    // v2, so rewriting the version fields of a v2 additive-only store
+    // reproduces the old files byte-for-byte. They must open clean and
+    // mine bit-identically — the version bump gates *churn* records,
+    // not old logs.
+    let mut state = seed();
+    let graph = fixture_graph(&mut state);
+    let mut additive = GraphDelta::new();
+    let v = additive.add_vertex(["a", "new"]);
+    additive.add_edge(v, DeltaVertex::Existing(0));
+    assert!(!additive.has_churn());
+
+    let mut reference = Miner::new().threads(1).build();
+    reference.mine(&graph);
+    reference.stage_delta(&additive).unwrap();
+    let expect = Reference::of(&mut reference);
+
+    let path = temp_path("v1-compat");
+    let mut durable = Miner::new().threads(1).durable(&path).unwrap();
+    durable.mine(&graph).unwrap();
+    durable.stage_delta(&additive).unwrap();
+    let wal_path = durable.store().wal_path().to_path_buf();
+    drop(durable);
+
+    for file in [&path, &wal_path] {
+        let mut bytes = fs::read(file).unwrap();
+        bytes[4..6].copy_from_slice(&1u16.to_le_bytes());
+        fs::write(file, bytes).unwrap();
+    }
+
+    let mut reopened = Miner::new().threads(1).durable(&path).unwrap();
+    assert_eq!(
+        *reopened.recovery(),
+        RecoveryOutcome::Clean { wal_records: 1 },
+        "version-1 files must replay clean"
+    );
+    expect.assert_matches(&mut reopened, "v1 compat");
 }
 
 #[test]
