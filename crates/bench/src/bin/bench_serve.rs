@@ -16,11 +16,15 @@
 //! `final_dl_bits` digest must match bit-for-bit — a load test that
 //! silently mined garbage would be worse than none.
 //!
-//! Records are named `serve/<op>_p{50,99}` plus
-//! `serve/req_interval_mean` (inverse throughput, so smaller is better
-//! like every other timing). `bench_compare` reports `serve/…` records
-//! but never gates on them: round-trip latency on a shared 1-core CI
-//! runner is dominated by socket scheduling jitter, not the merge loop.
+//! Records are named `serve/<op>_p{50,99}` (client-measured round
+//! trips) and `serve/daemon_<op>_p{50,99}` (daemon-side, recovered from
+//! the `metrics` op's `cspm_serve_request_seconds` histogram buckets —
+//! parse-to-rendered-response on the server's own clock, free of socket
+//! scheduling), plus `serve/req_interval_mean` (inverse throughput, so
+//! smaller is better like every other timing). `bench_compare` reports
+//! `serve/…` records but never gates on them: round-trip latency on a
+//! shared 1-core CI runner is dominated by scheduling jitter, not the
+//! merge loop.
 
 use std::io::{BufRead as _, BufReader, Write as _};
 use std::os::unix::net::UnixStream;
@@ -128,6 +132,77 @@ fn percentile(sorted: &[f64], pct: f64) -> f64 {
     sorted[idx]
 }
 
+/// Round-trips `{"op":"metrics"}` and returns the Prometheus text.
+fn scrape_metrics(socket: &std::path::Path) -> String {
+    let stream = UnixStream::connect(socket).expect("connect for metrics scrape");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    writer
+        .write_all(b"{\"op\":\"metrics\"}\n")
+        .expect("send metrics request");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read metrics response");
+    let v = parse(line.trim_end()).expect("daemon speaks JSON");
+    assert_eq!(
+        v.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "metrics scrape refused: {line}"
+    );
+    v.get("text")
+        .and_then(Value::as_str)
+        .expect("metrics response carries exposition text")
+        .to_string()
+}
+
+/// Quantile estimate from cumulative histogram buckets, linearly
+/// interpolated inside the containing bucket (the `histogram_quantile`
+/// estimator). An observation in the `+Inf` bucket reports the last
+/// finite bound — there is nothing to interpolate towards.
+fn bucket_quantile(buckets: &[(f64, u64)], q: f64) -> f64 {
+    let total = buckets.last().map_or(0, |b| b.1);
+    let rank = ((q * total as f64).ceil()).max(1.0) as u64;
+    let mut lower = 0.0;
+    let mut prev_count = 0u64;
+    for &(bound, count) in buckets {
+        if count >= rank {
+            if bound.is_infinite() {
+                return lower;
+            }
+            let in_bucket = (count - prev_count) as f64;
+            return lower + (bound - lower) * ((rank - prev_count) as f64 / in_bucket);
+        }
+        prev_count = count;
+        lower = bound;
+    }
+    lower
+}
+
+/// Parses one op's `<family>_bucket{op="…",le="…"}` series out of an
+/// exposition and returns `(p50, p99)`; `None` when the op never ran.
+fn daemon_quantiles(exposition: &str, family: &str, op: &str) -> Option<(f64, f64)> {
+    let prefix = format!("{family}_bucket{{op=\"{op}\",le=\"");
+    let mut buckets: Vec<(f64, u64)> = Vec::new();
+    for line in exposition.lines() {
+        let Some(rest) = line.strip_prefix(prefix.as_str()) else {
+            continue;
+        };
+        let (le, count) = rest.split_once("\"} ")?;
+        let bound = if le == "+Inf" {
+            f64::INFINITY
+        } else {
+            le.parse().ok()?
+        };
+        buckets.push((bound, count.parse::<f64>().ok()? as u64));
+    }
+    if buckets.last().is_none_or(|b| b.1 == 0) {
+        return None;
+    }
+    Some((
+        bucket_quantile(&buckets, 0.50),
+        bucket_quantile(&buckets, 0.99),
+    ))
+}
+
 fn main() {
     let mut tenants = 3usize;
     let mut rounds = 4usize;
@@ -189,6 +264,7 @@ fn main() {
             .collect()
     });
     let wall_secs = wall.elapsed().as_secs_f64();
+    let exposition = scrape_metrics(&socket);
     server.stop().expect("clean daemon shutdown");
     std::fs::remove_dir_all(&dir).ok();
 
@@ -202,6 +278,12 @@ fn main() {
         secs.sort_by(f64::total_cmp);
         records.push((format!("serve/{op}_p50"), percentile(&secs, 50.0)));
         records.push((format!("serve/{op}_p99"), percentile(&secs, 99.0)));
+        // Same op as the daemon saw it: histogram buckets scraped over
+        // the wire, so client-vs-daemon deltas isolate socket overhead.
+        let (p50, p99) = daemon_quantiles(&exposition, "cspm_serve_request_seconds", op)
+            .unwrap_or_else(|| panic!("daemon histogram empty for op '{op}'"));
+        records.push((format!("serve/daemon_{op}_p50"), p50));
+        records.push((format!("serve/daemon_{op}_p99"), p99));
     }
     let requests = all.len();
     records.push((

@@ -455,6 +455,8 @@ pub(crate) fn run_loop(
 
     stats.elapsed_secs = started.elapsed().as_secs_f64();
     stats.posting = db.posting_store().repr_stats();
+    // The engine's single telemetry seam: once per run, never per merge.
+    crate::metrics::record_run(merges, &stats);
     CspmResult {
         model: MinedModel::from_db(&db),
         initial_dl,

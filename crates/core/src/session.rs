@@ -81,6 +81,7 @@ pub struct Miner {
     config: CspmConfig,
     policy: SchedulePolicy,
     compact_above: f64,
+    compact_after_releases: Option<u32>,
 }
 
 impl Default for Miner {
@@ -94,6 +95,14 @@ impl Miner {
     /// posting store after a delta: twice as much arena as live data.
     pub const DEFAULT_COMPACT_ABOVE: f64 = 2.0;
 
+    /// Default count of *release-heavy* deltas (deltas that released at
+    /// least one posting row back to the free-list) after which a
+    /// session compacts regardless of the fragmentation ratio. Removal
+    /// traffic frees rows scattered across the arena: the byte ratio
+    /// can stay under [`Self::DEFAULT_COMPACT_ABOVE`] for a long time
+    /// while the free-list keeps the arena from ever shrinking.
+    pub const DEFAULT_COMPACT_AFTER_RELEASES: u32 = 8;
+
     /// A builder with the paper-default configuration (the same
     /// defaults as [`CspmConfig::default`], incremental scheduling).
     pub fn new() -> Self {
@@ -106,6 +115,7 @@ impl Miner {
             config,
             policy: SchedulePolicy::default(),
             compact_above: Self::DEFAULT_COMPACT_ABOVE,
+            compact_after_releases: Some(Self::DEFAULT_COMPACT_AFTER_RELEASES),
         }
     }
 
@@ -172,6 +182,23 @@ impl Miner {
         self
     }
 
+    /// Number of release-heavy deltas (deltas that released posting
+    /// rows to the free-list) after which the session compacts even if
+    /// the fragmentation ratio is still below
+    /// [`compact_above`](Self::compact_above). Removal-dominated
+    /// streams fragment the arena without growing it, so the ratio
+    /// alone reacts late; this counter bounds how long that state can
+    /// persist. `None` disables the trigger; must be ≥ 1 otherwise.
+    pub fn compact_after_releases(mut self, count: Option<u32>) -> Self {
+        assert!(
+            count != Some(0),
+            "a zero release threshold would compact on every delta; use Some(1) \
+             to compact after each release-heavy delta or None to disable"
+        );
+        self.compact_after_releases = count;
+        self
+    }
+
     /// The configuration this builder will hand its sessions.
     pub fn config(&self) -> &CspmConfig {
         &self.config
@@ -184,6 +211,8 @@ impl Miner {
             config: self.config,
             policy: self.policy,
             compact_above: self.compact_above,
+            compact_after_releases: self.compact_after_releases,
+            release_heavy_deltas: 0,
             graph: None,
             pristine: None,
             compactions: 0,
@@ -264,6 +293,10 @@ pub struct MiningSession {
     config: CspmConfig,
     policy: SchedulePolicy,
     compact_above: f64,
+    compact_after_releases: Option<u32>,
+    /// Release-heavy deltas absorbed since the last compaction (or
+    /// cold load — both leave the arena exactly packed).
+    release_heavy_deltas: u32,
     graph: Option<AttributedGraph>,
     pristine: Option<InvertedDb>,
     compactions: u64,
@@ -285,6 +318,8 @@ impl MiningSession {
             self.config.gain_policy,
         ));
         self.graph = Some(g);
+        // A fresh build packs the arena exactly.
+        self.release_heavy_deltas = 0;
     }
 
     /// Adopts a pre-built database as the session's pristine state.
@@ -344,7 +379,15 @@ impl MiningSession {
         if let Some(db) = self.pristine.as_mut() {
             db.compact_postings();
             self.compactions += 1;
+            self.release_heavy_deltas = 0;
         }
+    }
+
+    /// Release-heavy deltas (deltas that released posting rows back to
+    /// the free-list) absorbed since the last compaction — the counter
+    /// behind [`Miner::compact_after_releases`].
+    pub fn release_heavy_deltas(&self) -> u32 {
+        self.release_heavy_deltas
     }
 
     /// Estimated resident bytes of the retained graph + pristine
@@ -465,18 +508,32 @@ impl MiningSession {
             fragmentation: 1.0,
         };
         match db.apply_delta(graph, &dirty) {
-            Ok(patch) => stats.patch = patch,
+            Ok(patch) => {
+                stats.patch = patch;
+                if patch.rows_removed > 0 {
+                    self.release_heavy_deltas += 1;
+                }
+            }
             Err(reason) => {
                 // Multi-value coresets (or a non-canonical database):
                 // fall back to a cold rebuild — identical result, no
-                // warm savings.
+                // warm savings. The rebuild packs the arena exactly.
                 *db = InvertedDb::build(graph, self.config.coreset_mode, self.config.gain_policy);
                 stats.rebuilt = Some(reason);
+                self.release_heavy_deltas = 0;
             }
         }
-        if db.posting_store().fragmentation() > self.compact_above {
+        // Two independent pressure signals: the byte ratio (additive
+        // patch traffic relocates rows, growing the arena) and the
+        // release counter (removal traffic frees rows without growing
+        // it — the ratio reacts late, the counter does not).
+        let release_pressure = self
+            .compact_after_releases
+            .is_some_and(|n| self.release_heavy_deltas >= n);
+        if db.posting_store().fragmentation() > self.compact_above || release_pressure {
             db.compact_postings();
             self.compactions += 1;
+            self.release_heavy_deltas = 0;
             stats.compacted = true;
         }
         stats.fragmentation = db.posting_store().fragmentation();
@@ -571,7 +628,8 @@ mod tests {
             .max_merges(Some(7))
             .collect_stats(true)
             .variant(Variant::Basic)
-            .compact_above(4.0);
+            .compact_above(4.0)
+            .compact_after_releases(Some(5));
         assert_eq!(m.config().threads, 3);
         assert_eq!(m.config().full_regen_max_pairs, None);
         assert_eq!(m.config().gain_policy, GainPolicy::DataOnly);
@@ -579,6 +637,11 @@ mod tests {
         assert!(m.config().collect_stats);
         assert_eq!(m.policy, SchedulePolicy::FullRegeneration);
         assert_eq!(m.compact_above, 4.0);
+        assert_eq!(m.compact_after_releases, Some(5));
+        assert_eq!(
+            Miner::new().compact_after_releases,
+            Some(Miner::DEFAULT_COMPACT_AFTER_RELEASES)
+        );
     }
 
     #[test]
@@ -847,6 +910,101 @@ mod tests {
         let cold = Miner::new().build().mine(s.graph().unwrap());
         assert_eq!(res.final_dl, cold.final_dl);
         assert_eq!(res.merges, cold.merges);
+    }
+
+    /// A backbone path labelled "a" with `k` pair gadgets hanging off
+    /// it: gadget `i` is an edge between fresh vertices labelled
+    /// `ga{i}` / `gb{i}`. Removing a gadget's edge empties the two
+    /// posting rows that pair uniquely owns — release traffic that
+    /// barely moves the arena's byte ratio.
+    fn gadget_graph(k: usize) -> (AttributedGraph, Vec<(u32, u32)>) {
+        let mut b = cspm_graph::GraphBuilder::new();
+        let mut prev = None;
+        for _ in 0..4 {
+            let v = b.add_vertex(["a"]);
+            if let Some(p) = prev {
+                b.add_edge(p, v).unwrap();
+            }
+            prev = Some(v);
+        }
+        let spine = prev.unwrap();
+        let mut gadgets = Vec::new();
+        for i in 0..k {
+            let u = b.add_vertex([format!("ga{i}")]);
+            let w = b.add_vertex([format!("gb{i}")]);
+            b.add_edge(u, w).unwrap();
+            b.add_edge(u, spine).unwrap();
+            gadgets.push((u, w));
+        }
+        (b.build().unwrap(), gadgets)
+    }
+
+    /// Satellite of the PR 9 follow-on: removal traffic that releases
+    /// rows without pushing the byte ratio past `compact_above` must
+    /// still compact once the configured count of release-heavy deltas
+    /// accumulates.
+    #[test]
+    fn release_heavy_deltas_trigger_compaction() {
+        let (g, gadgets) = gadget_graph(6);
+        // The byte-ratio trigger is effectively disabled; only the
+        // release counter can fire.
+        let mut s = Miner::new()
+            .compact_above(1e9)
+            .compact_after_releases(Some(3))
+            .build();
+        s.mine(&g);
+        let mut compacted_at = None;
+        for (i, &(u, w)) in gadgets.iter().enumerate() {
+            let mut d = GraphDelta::new();
+            d.remove_edge(u, w);
+            let stats = s.stage_delta(&d).unwrap();
+            assert!(stats.rebuilt.is_none(), "edge removal patches in place");
+            assert!(
+                stats.patch.rows_removed > 0,
+                "gadget removal must release its pair rows"
+            );
+            if stats.compacted {
+                compacted_at = Some(i);
+                break;
+            }
+        }
+        // The third release-heavy delta (index 2) trips the counter.
+        assert_eq!(compacted_at, Some(2));
+        assert_eq!(s.release_heavy_deltas(), 0, "counter resets on compaction");
+        assert_eq!(s.compactions(), 1);
+        // Compaction never changes mined output: the session still
+        // agrees with a cold mine of its current graph.
+        let warm = s.run_with(&mut RunToCompletion).unwrap();
+        let cold = Miner::new().build().mine(s.graph().unwrap());
+        assert_eq!(warm.final_dl.to_bits(), cold.final_dl.to_bits());
+        assert_eq!(warm.merges, cold.merges);
+    }
+
+    /// The pre-fix behaviour, pinned: with the release trigger
+    /// disabled, the same removal traffic leaves the arena fragmented
+    /// indefinitely (the ratio alone never fires).
+    #[test]
+    fn release_trigger_disabled_leaves_arena_fragmented() {
+        let (g, gadgets) = gadget_graph(6);
+        let mut s = Miner::new()
+            .compact_above(1e9)
+            .compact_after_releases(None)
+            .build();
+        s.mine(&g);
+        let mut last = None;
+        for &(u, w) in &gadgets {
+            let mut d = GraphDelta::new();
+            d.remove_edge(u, w);
+            let stats = s.stage_delta(&d).unwrap();
+            assert!(!stats.compacted);
+            last = Some(stats);
+        }
+        assert!(s.release_heavy_deltas() >= gadgets.len() as u32);
+        assert!(
+            last.unwrap().fragmentation > 1.0,
+            "released rows must leave dead arena bytes behind"
+        );
+        assert_eq!(s.compactions(), 0);
     }
 
     #[test]

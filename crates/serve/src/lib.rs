@@ -11,6 +11,7 @@
 //! | [`json`] | defensive JSON parser: typed errors with byte offsets, depth-capped |
 //! | [`proto`] | request/response grammar, typed [`proto::ErrorCode`]s, delta decoding |
 //! | [`server`] | listener + connection loop, tenant registry, worker pool, eviction |
+//! | `metrics` | per-op counters/latency histograms on the process-wide telemetry registry, scraped via the `metrics` op |
 //!
 //! The protocol grammar is documented normatively in `docs/FORMATS.md`
 //! §7. The load-driver benchmark lives in `cspm-bench` (`bench_serve`);
@@ -35,6 +36,7 @@
 
 pub mod json;
 pub mod jsonfmt;
+mod metrics;
 pub mod proto;
 pub mod server;
 

@@ -146,12 +146,44 @@ pub enum Request {
         /// run; this only trims the response).
         top: Option<usize>,
     },
+    /// Mine like [`Request::Mine`], but stream one progress event line
+    /// per accepted merge before the final response — same connection,
+    /// same terminal payload.
+    Subscribe {
+        session: String,
+        /// Per-request deadline; expiry cancels via the observer and
+        /// answers [`ErrorCode::DeadlineExceeded`] as the terminal line.
+        deadline_ms: Option<u64>,
+        /// Cap on the number of stars echoed back in the terminal line.
+        top: Option<usize>,
+    },
     /// Daemon-wide stats, or one session's stats when named.
     Stats { session: Option<String> },
+    /// The process-wide metrics registry rendered as Prometheus text
+    /// exposition, carried in a JSON string field.
+    Metrics,
     /// Checkpoint (if durable) and release the named session.
     Close { session: String },
     /// Drain and stop the daemon (equivalent to SIGTERM).
     Shutdown,
+}
+
+impl Request {
+    /// The request's wire `op` string (the metrics label for per-op
+    /// counters).
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            Request::Ping => "ping",
+            Request::Open { .. } => "open",
+            Request::Delta { .. } => "delta",
+            Request::Mine { .. } => "mine",
+            Request::Subscribe { .. } => "subscribe",
+            Request::Stats { .. } => "stats",
+            Request::Metrics => "metrics",
+            Request::Close { .. } => "close",
+            Request::Shutdown => "shutdown",
+        }
+    }
 }
 
 /// Whether `name` may identify a session: 1–64 chars of
@@ -234,7 +266,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
             let delta = delta_from_value(&v)?;
             Ok(Request::Delta { session, delta })
         }
-        "mine" => {
+        "mine" | "subscribe" => {
             let session = session_field(&v)?;
             let deadline_ms = match v.get("deadline_ms") {
                 None | Some(Value::Null) => None,
@@ -251,12 +283,21 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
                         as usize,
                 ),
             };
-            Ok(Request::Mine {
-                session,
-                deadline_ms,
-                top,
-            })
+            if op == "subscribe" {
+                Ok(Request::Subscribe {
+                    session,
+                    deadline_ms,
+                    top,
+                })
+            } else {
+                Ok(Request::Mine {
+                    session,
+                    deadline_ms,
+                    top,
+                })
+            }
         }
+        "metrics" => Ok(Request::Metrics),
         "stats" => {
             let session = match v.get("session") {
                 None | Some(Value::Null) => None,
@@ -513,6 +554,19 @@ mod tests {
             }
         );
         assert_eq!(
+            parse_request(r#"{"op":"subscribe","session":"t1","deadline_ms":250,"top":5}"#)
+                .unwrap(),
+            Request::Subscribe {
+                session: "t1".into(),
+                deadline_ms: Some(250),
+                top: Some(5)
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"metrics"}"#).unwrap(),
+            Request::Metrics
+        );
+        assert_eq!(
             parse_request(r#"{"op":"stats"}"#).unwrap(),
             Request::Stats { session: None }
         );
@@ -542,6 +596,7 @@ mod tests {
         assert_eq!(code(r#"{"op":"fly"}"#), ErrorCode::UnknownOp);
         assert_eq!(code(r#"{"session":"t1"}"#), ErrorCode::UnknownOp);
         assert_eq!(code(r#"{"op":"mine"}"#), ErrorCode::MissingField);
+        assert_eq!(code(r#"{"op":"subscribe"}"#), ErrorCode::MissingField);
         assert_eq!(
             code(r#"{"op":"mine","session":7}"#),
             ErrorCode::InvalidField

@@ -31,6 +31,7 @@ use std::ops::ControlFlow;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -43,6 +44,7 @@ use cspm_graph::{read_graph, AttributedGraph};
 use cspm_store::{Durable, DurableError, DurableSession};
 
 use crate::jsonfmt::Json;
+use crate::metrics::serve_metrics;
 use crate::proto::{parse_request, ErrorCode, ProtoError, Request, MAX_FRAME};
 
 /// How often blocked reads and the accept loop re-check the shutdown
@@ -179,6 +181,7 @@ struct Counters {
     opens: AtomicU64,
     deltas: AtomicU64,
     mines: AtomicU64,
+    subscribes: AtomicU64,
     deadline_hits: AtomicU64,
     evictions: AtomicU64,
     pressure_compactions: AtomicU64,
@@ -242,11 +245,14 @@ impl Shared {
                 })
                 .is_ok()
         });
+        let m = serve_metrics();
         for _ in &outcome.evicted {
             self.counters.bump(&self.counters.evictions);
+            m.evictions.inc();
         }
         for _ in &outcome.compacted {
             self.counters.bump(&self.counters.pressure_compactions);
+            m.pressure_compactions.inc();
         }
     }
 }
@@ -258,7 +264,12 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 }
 
 fn lock_registry(m: &Mutex<SessionRegistry<Tenant>>) -> MutexGuard<'_, SessionRegistry<Tenant>> {
-    lock(m)
+    let started = Instant::now();
+    let guard = lock(m);
+    serve_metrics()
+        .lock_wait_seconds
+        .observe(started.elapsed().as_secs_f64());
+    guard
 }
 
 /// Cancels mining when the request deadline passes.
@@ -577,52 +588,112 @@ fn handle_connection(shared: Arc<Shared>, stream: UnixStream) {
             LineOutcome::Line(line) if line.trim().is_empty() => continue,
             LineOutcome::Line(line) => {
                 shared.counters.bump(&shared.counters.requests);
-                match dispatch(&shared, &line) {
-                    Ok(resp) => resp,
+                match dispatch_on(&shared, &line, &mut writer) {
+                    Ok(Dispatched::Respond(resp)) => resp,
+                    // The subscribe handler wrote its whole exchange
+                    // already; a write error there closes the
+                    // connection just like one here would.
+                    Ok(Dispatched::Streamed(Ok(()))) => continue,
+                    Ok(Dispatched::Streamed(Err(_))) => return,
                     Err(e) => {
                         shared.counters.bump(&shared.counters.errors);
+                        serve_metrics().errors.inc();
                         e.to_line()
                     }
                 }
             }
         };
-        if writer
-            .write_all(response.as_bytes())
-            .and_then(|()| writer.write_all(b"\n"))
-            .and_then(|()| writer.flush())
-            .is_err()
-        {
+        if write_line(&mut writer, &response).is_err() {
             return;
         }
     }
 }
 
-/// Parses and executes one request line; `Ok` is a complete response
-/// line, `Err` becomes a typed error line. Never panics on any input —
-/// connection threads have no one to report a panic to.
-fn dispatch(shared: &Arc<Shared>, line: &str) -> Result<String, ProtoError> {
+/// One complete response line plus trailing newline and flush.
+fn write_line(w: &mut UnixStream, line: &str) -> io::Result<()> {
+    w.write_all(line.as_bytes())?;
+    w.write_all(b"\n")?;
+    w.flush()
+}
+
+/// What one dispatched request produced.
+enum Dispatched {
+    /// A complete response line for the caller to write.
+    Respond(String),
+    /// A streaming op wrote everything itself; the payload is whether
+    /// the connection is still usable.
+    Streamed(io::Result<()>),
+}
+
+/// Parses and executes one request line; `Ok` is the dispatch outcome,
+/// `Err` becomes a typed error line. Never panics on any input —
+/// connection threads have no one to report a panic to. The connection
+/// writer is passed through so streaming ops (`subscribe`) can answer
+/// with more than one line.
+fn dispatch_on(
+    shared: &Arc<Shared>,
+    line: &str,
+    writer: &mut UnixStream,
+) -> Result<Dispatched, ProtoError> {
     if shared.shutdown.load(Ordering::SeqCst) {
         return Err(ProtoError::new(
             ErrorCode::ShuttingDown,
             "daemon is draining",
         ));
     }
-    match parse_request(line)? {
-        Request::Ping => Ok(simple_ok("ping")),
+    let req = parse_request(line)?;
+    let op = serve_metrics().op(req.op_name());
+    op.requests.inc();
+    let started = Instant::now();
+    let res = match req {
+        Request::Ping => Ok(Dispatched::Respond(simple_ok("ping"))),
         Request::Shutdown => {
             shared.shutdown.store(true, Ordering::SeqCst);
-            Ok(simple_ok("shutdown"))
+            Ok(Dispatched::Respond(simple_ok("shutdown")))
         }
-        Request::Open { session, graph } => do_open(shared, &session, graph.as_deref()),
-        Request::Delta { session, delta } => do_delta(shared, &session, &delta),
+        Request::Open { session, graph } => {
+            do_open(shared, &session, graph.as_deref()).map(Dispatched::Respond)
+        }
+        Request::Delta { session, delta } => {
+            do_delta(shared, &session, &delta).map(Dispatched::Respond)
+        }
         Request::Mine {
             session,
             deadline_ms,
             top,
-        } => do_mine(shared, &session, deadline_ms, top),
-        Request::Stats { session } => do_stats(shared, session.as_deref()),
-        Request::Close { session } => do_close(shared, &session),
-    }
+        } => do_mine(shared, &session, deadline_ms, top).map(Dispatched::Respond),
+        Request::Subscribe {
+            session,
+            deadline_ms,
+            top,
+        } => Ok(Dispatched::Streamed(do_subscribe(
+            shared,
+            writer,
+            &session,
+            deadline_ms,
+            top,
+        ))),
+        Request::Stats { session } => do_stats(shared, session.as_deref()).map(Dispatched::Respond),
+        Request::Metrics => Ok(Dispatched::Respond(do_metrics())),
+        Request::Close { session } => do_close(shared, &session).map(Dispatched::Respond),
+    };
+    op.seconds.observe(started.elapsed().as_secs_f64());
+    res
+}
+
+/// The process-wide metrics registry, rendered as Prometheus text
+/// exposition and carried in a JSON string field. One scrape covers
+/// every instrumented crate: the engine, the store, and this daemon.
+fn do_metrics() -> String {
+    let text = cspm_telemetry::global().render();
+    let mut j = Json::new();
+    j.begin_obj();
+    j.field_bool("ok", true)
+        .field_str("op", "metrics")
+        .field_str("format", "prometheus")
+        .field_str("text", &text);
+    j.end_obj();
+    j.finish()
 }
 
 fn simple_ok(op: &str) -> String {
@@ -719,6 +790,9 @@ fn do_delta(shared: &Arc<Shared>, name: &str, delta: &GraphDelta) -> Result<Stri
         .checkout(name)
         .ok_or_else(|| unknown_session(name))?;
     let stats = lock(&handle).stage_delta(delta)?;
+    if stats.rebuilt.is_some() {
+        serve_metrics().delta_rebuilds.inc();
+    }
     // Budget pressure runs while `handle` pins this tenant: the session
     // the client is actively growing is not an eviction candidate.
     shared.enforce_budget();
@@ -773,6 +847,8 @@ fn do_mine(
             let result = tenant.run_with(&mut obs);
             let rendered = result.map(|r| {
                 render_mine(
+                    "mine",
+                    false,
                     &job_name,
                     &tenant,
                     &r,
@@ -792,13 +868,8 @@ fn do_mine(
         (Ok(rendered), hit) => {
             if hit {
                 shared.counters.bump(&shared.counters.deadline_hits);
-                return Err(ProtoError::new(
-                    ErrorCode::DeadlineExceeded,
-                    format!(
-                        "deadline of {}ms expired mid-merge; warm session state is unchanged",
-                        deadline_ms.unwrap_or(0)
-                    ),
-                ));
+                serve_metrics().deadline_expiries.inc();
+                return Err(deadline_error(deadline_ms));
             }
             shared.enforce_budget();
             drop(pin);
@@ -808,9 +879,222 @@ fn do_mine(
     }
 }
 
+/// How many progress events may sit unread between the mining worker
+/// and the connection thread. Past this the observer *drops* events
+/// (counted in `cspm_serve_subscribe_dropped_total`) rather than
+/// blocking the merge loop on a slow client.
+const SUBSCRIBE_BUFFER: usize = 64;
+
+/// One message from the mining worker to the streaming connection
+/// thread.
+enum SubEvent {
+    /// A per-merge progress snapshot.
+    Progress(IterationStat),
+    /// The run finished: the fully rendered terminal line (or the
+    /// error that should become one) plus whether the deadline fired.
+    Done {
+        rendered: Result<String, ProtoError>,
+        deadline_hit: bool,
+    },
+}
+
+/// The subscribe op's observer: deadline enforcement like
+/// [`DeadlineObserver`], plus progress fan-out and client-gone
+/// cancellation. `try_send` keeps the merge loop non-blocking — a full
+/// buffer loses an event, never a merge.
+struct StreamingObserver {
+    deadline: Option<Instant>,
+    hit: bool,
+    cancelled: Arc<AtomicBool>,
+    tx: SyncSender<SubEvent>,
+    dropped: u64,
+}
+
+impl ProgressObserver for StreamingObserver {
+    fn on_iteration(&mut self, stat: &IterationStat) -> ControlFlow<()> {
+        if self.cancelled.load(Ordering::Relaxed) {
+            return ControlFlow::Break(());
+        }
+        if let Some(at) = self.deadline {
+            if Instant::now() >= at {
+                self.hit = true;
+                return ControlFlow::Break(());
+            }
+        }
+        match self.tx.try_send(SubEvent::Progress(*stat)) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) => self.dropped += 1,
+            // Receiver gone means the connection thread is gone;
+            // nothing is listening, so stop mining this request.
+            Err(TrySendError::Disconnected(_)) => return ControlFlow::Break(()),
+        }
+        ControlFlow::Continue(())
+    }
+}
+
+/// One progress event line: `{"ok":true,"op":"subscribe",
+/// "event":"progress","iteration":N,...}` with the [`IterationStat`]
+/// fields spelled out.
+fn render_progress(name: &str, iteration: u64, stat: &IterationStat) -> String {
+    let mut j = Json::new();
+    j.begin_obj();
+    j.field_bool("ok", true)
+        .field_str("op", "subscribe")
+        .field_str("event", "progress")
+        .field_str("session", name)
+        .field_int("iteration", iteration)
+        .field_int("gain_evals", stat.gain_evals)
+        .field_int("possible_pairs", stat.possible_pairs)
+        .field_num("accepted_gain", stat.accepted_gain)
+        .field_num("dl_after", stat.dl_after)
+        .field_num("data_dl_after", stat.data_dl_after);
+    j.end_obj();
+    j.finish()
+}
+
+/// The `subscribe` op: mines like [`do_mine`] but writes progress
+/// event lines on the connection as merges are accepted, then the
+/// terminal line. The whole exchange is written here; the returned
+/// `io::Result` says whether the connection survived.
+///
+/// Cancellation safety: if a progress write fails, the client is gone
+/// — the observer's `cancelled` flag stops the merge loop at the next
+/// iteration, and this thread keeps *draining* the channel (without
+/// writing) so the worker's blocking `Done` send can never wedge. A
+/// worker panic drops the channel sender, which surfaces here as a
+/// terminal internal error rather than a hang.
+fn do_subscribe(
+    shared: &Arc<Shared>,
+    writer: &mut UnixStream,
+    name: &str,
+    deadline_ms: Option<u64>,
+    top: Option<usize>,
+) -> io::Result<()> {
+    shared.counters.bump(&shared.counters.subscribes);
+    let fail = |w: &mut UnixStream, e: ProtoError| {
+        shared.counters.bump(&shared.counters.errors);
+        serve_metrics().errors.inc();
+        write_line(w, &e.to_line())
+    };
+    let Some(handle) = lock_registry(&shared.registry).checkout(name) else {
+        return fail(writer, unknown_session(name));
+    };
+    let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+    let started = Instant::now();
+    let job_name = name.to_string();
+    let cancelled = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = sync_channel::<SubEvent>(SUBSCRIBE_BUFFER);
+
+    // Pin the tenant across the pooled run *and* budget enforcement,
+    // exactly like `do_mine`.
+    let pin = Arc::clone(&handle);
+    let cancel_flag = Arc::clone(&cancelled);
+    shared.pool.submit(move || {
+        let mut tenant = lock(&handle);
+        let mut obs = StreamingObserver {
+            deadline,
+            hit: false,
+            cancelled: cancel_flag,
+            tx: tx.clone(),
+            dropped: 0,
+        };
+        let result = tenant.run_with(&mut obs);
+        let rendered = result.map(|r| {
+            render_mine(
+                "subscribe",
+                true,
+                &job_name,
+                &tenant,
+                &r,
+                top,
+                started.elapsed().as_millis() as u64,
+            )
+        });
+        drop(tenant);
+        if obs.dropped > 0 {
+            serve_metrics().subscribe_dropped.add(obs.dropped);
+        }
+        // Blocking send is safe: the connection thread drains until it
+        // sees `Done` (or the channel closes), even after a write
+        // failure.
+        let _ = tx.send(SubEvent::Done {
+            rendered,
+            deadline_hit: obs.hit,
+        });
+    });
+
+    let mut conn_alive = true;
+    let mut iteration = 0u64;
+    let mut outcome = None;
+    for event in rx.iter() {
+        match event {
+            SubEvent::Progress(stat) => {
+                iteration += 1;
+                if !conn_alive {
+                    continue;
+                }
+                if write_line(writer, &render_progress(name, iteration, &stat)).is_err() {
+                    conn_alive = false;
+                    cancelled.store(true, Ordering::Relaxed);
+                }
+            }
+            SubEvent::Done {
+                rendered,
+                deadline_hit,
+            } => {
+                outcome = Some((rendered, deadline_hit));
+                break;
+            }
+        }
+    }
+
+    let terminal = match outcome {
+        Some((_, true)) => {
+            shared.counters.bump(&shared.counters.deadline_hits);
+            serve_metrics().deadline_expiries.inc();
+            Err(deadline_error(deadline_ms))
+        }
+        Some((Ok(rendered), false)) => {
+            shared.enforce_budget();
+            Ok(rendered)
+        }
+        Some((Err(e), false)) => Err(e),
+        // Channel closed without a Done: the mining job panicked.
+        None => Err(ProtoError::new(
+            ErrorCode::Internal,
+            "mining job panicked; session state was not persisted",
+        )),
+    };
+    drop(pin);
+    if !conn_alive {
+        return Err(io::Error::new(
+            ErrorKind::BrokenPipe,
+            "subscribe client went away mid-stream",
+        ));
+    }
+    match terminal {
+        Ok(rendered) => write_line(writer, &rendered),
+        Err(e) => fail(writer, e),
+    }
+}
+
+fn deadline_error(deadline_ms: Option<u64>) -> ProtoError {
+    ProtoError::new(
+        ErrorCode::DeadlineExceeded,
+        format!(
+            "deadline of {}ms expired mid-merge; warm session state is unchanged",
+            deadline_ms.unwrap_or(0)
+        ),
+    )
+}
+
 /// Renders a mine response under the tenant lock (star display needs
-/// the graph's attribute table).
+/// the graph's attribute table). `subscribe` reuses the same payload
+/// as its terminal line, tagged `"event":"done"` so a streaming client
+/// can tell it from the progress events that preceded it.
 fn render_mine(
+    op: &str,
+    done_event: bool,
     name: &str,
     tenant: &Tenant,
     result: &CspmResult,
@@ -819,9 +1103,11 @@ fn render_mine(
 ) -> String {
     let mut j = Json::new();
     j.begin_obj();
-    j.field_bool("ok", true)
-        .field_str("op", "mine")
-        .field_str("session", name)
+    j.field_bool("ok", true).field_str("op", op);
+    if done_event {
+        j.field_str("event", "done");
+    }
+    j.field_str("session", name)
         .field_num("initial_dl", result.initial_dl)
         .field_num("final_dl", result.final_dl)
         .field_str("final_dl_bits", &dl_bits(result.final_dl))
@@ -877,6 +1163,7 @@ fn do_stats(shared: &Arc<Shared>, session: Option<&str>) -> Result<String, Proto
                 .field_int("opens", c.opens.load(Ordering::Relaxed))
                 .field_int("deltas", c.deltas.load(Ordering::Relaxed))
                 .field_int("mines", c.mines.load(Ordering::Relaxed))
+                .field_int("subscribes", c.subscribes.load(Ordering::Relaxed))
                 .field_int("deadline_hits", c.deadline_hits.load(Ordering::Relaxed))
                 .field_int("evictions", c.evictions.load(Ordering::Relaxed))
                 .field_int(

@@ -41,6 +41,7 @@
 
 pub mod durable;
 pub mod fault;
+mod metrics;
 
 use std::fmt;
 use std::fs::{self, File, OpenOptions};
@@ -57,12 +58,14 @@ use cspm_graph::{decode_graph, encode_graph, AttributedGraph};
 pub use durable::{Durable, DurableError, DurableSession};
 pub use fault::{Fault, FaultFile, FaultTarget};
 
+use metrics::{store_metrics, timed_fsync};
+
 /// Snapshot file magic (`CSPS` — CSPM snapshot).
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"CSPS";
 /// WAL file magic (`CSWL` — CSPM write-ahead log).
 pub const WAL_MAGIC: [u8; 4] = *b"CSWL";
 /// Store format version, shared by both files. Version 2 added the
-/// churn WAL record ([`TAG_DELTA_CHURN`]) for deltas carrying
+/// churn WAL record (`TAG_DELTA_CHURN`) for deltas carrying
 /// removals or label changes; version-1 files (additive records only)
 /// still open and replay.
 pub const STORE_VERSION: u16 = 2;
@@ -402,7 +405,7 @@ fn write_file_atomic(
         let mut f = FaultFile::new(File::create(tmp)?, fault);
         f.write_all(bytes)?;
         f.flush()?;
-        f.into_inner().sync_all()
+        timed_fsync(|| f.into_inner().sync_all())
     };
     if let Err(e) = write() {
         let _ = fs::remove_file(tmp);
@@ -412,7 +415,7 @@ fn write_file_atomic(
     // An fsync on the directory makes the rename itself durable.
     if let Some(dir) = final_path.parent().filter(|d| !d.as_os_str().is_empty()) {
         if let Ok(d) = File::open(dir) {
-            let _ = d.sync_all();
+            let _ = timed_fsync(|| d.sync_all());
         }
     }
     Ok(())
@@ -424,7 +427,15 @@ impl SessionStore {
     /// version skew; every flavour of *damage* comes back as a
     /// [`RecoveryOutcome`].
     pub fn open(path: impl AsRef<Path>) -> Result<(Self, Recovered), StoreError> {
-        let path = path.as_ref().to_path_buf();
+        let res = Self::open_inner(path.as_ref());
+        if let Ok((_, recovered)) = &res {
+            store_metrics().recovery(recovered.outcome.label()).inc();
+        }
+        res
+    }
+
+    fn open_inner(path: &Path) -> Result<(Self, Recovered), StoreError> {
+        let path = path.to_path_buf();
         let wal_path = sibling(&path, "wal");
         // A crashed checkpoint can leave temp files behind; they were
         // never renamed, so they are dead weight.
@@ -565,6 +576,7 @@ impl SessionStore {
         mode: CoresetMode,
         gain: GainPolicy,
     ) -> Result<(), StoreError> {
+        let started = std::time::Instant::now();
         let next_gen = self.generation + 1;
         let bytes = encode_snapshot(graph, db, mode, gain, next_gen);
         let fault = self.take_fault(FaultTarget::Snapshot);
@@ -572,7 +584,12 @@ impl SessionStore {
         self.generation = next_gen;
         // From here the snapshot on disk is ahead of the old log; a
         // failed reset must leave the handle Broken, not Ready.
-        self.reset_wal(&[])
+        self.reset_wal(&[])?;
+        let m = store_metrics();
+        m.checkpoints.inc();
+        m.checkpoint_seconds
+            .observe(started.elapsed().as_secs_f64());
+        Ok(())
     }
 
     /// Rewrites the WAL in place (same generation) to exactly `deltas`
@@ -607,7 +624,8 @@ impl SessionStore {
         let res = f.write_all(&buf).and_then(|()| f.flush());
         match res {
             Ok(()) => {
-                file.sync_data()?;
+                timed_fsync(|| file.sync_data())?;
+                store_metrics().wal_bytes.add(buf.len() as u64);
                 self.wal_len += buf.len() as u64;
                 self.wal_records += deltas.len();
                 Ok(())
@@ -734,7 +752,7 @@ impl SessionStore {
         if dropped > 0 {
             let file = OpenOptions::new().write(true).open(&self.wal_path)?;
             file.set_len(valid_end as u64)?;
-            file.sync_all()?;
+            timed_fsync(|| file.sync_all())?;
         }
         self.wal = WalHandle::Ready(OpenOptions::new().append(true).open(&self.wal_path)?);
         self.wal_len = valid_end as u64;
@@ -938,6 +956,37 @@ mod tests {
         d.add_edge(v, cspm_graph::dynamic::DeltaVertex::Existing(0));
         let _ = g; // delta targets vertex 0, present in every fixture
         d
+    }
+
+    #[test]
+    fn store_traffic_moves_the_metrics() {
+        let m = store_metrics();
+        let fsyncs = m.fsyncs.get();
+        let wal_bytes = m.wal_bytes.get();
+        let checkpoints = m.checkpoints.get();
+        let fresh = m.recovery("fresh").get();
+        let clean = m.recovery("clean").get();
+
+        let path = temp_store("metrics");
+        let (mut store, _) = SessionStore::open(&path).unwrap();
+        let (g, _) = paper_example();
+        store
+            .checkpoint(&g, None, CoresetMode::SingleValue, GainPolicy::Total)
+            .unwrap();
+        let d = one_delta(&g);
+        store.append_deltas(std::slice::from_ref(&d)).unwrap();
+        drop(store);
+        let _ = SessionStore::open(&path).unwrap();
+
+        assert!(m.fsyncs.get() > fsyncs);
+        assert!(m.fsync_seconds.count() > 0);
+        assert!(m.wal_bytes.get() > wal_bytes);
+        // Other tests in this binary checkpoint and reopen stores too,
+        // so lower-bound rather than pin the shared counters.
+        assert!(m.checkpoints.get() > checkpoints);
+        assert!(m.checkpoint_seconds.count() > 0);
+        assert!(m.recovery("fresh").get() > fresh);
+        assert!(m.recovery("clean").get() > clean);
     }
 
     #[test]

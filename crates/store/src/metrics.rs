@@ -1,0 +1,96 @@
+//! Store metrics, registered once against the process-wide
+//! [`cspm_telemetry::global`] registry.
+//!
+//! The store's hot costs are dominated by the filesystem — an fsync is
+//! milliseconds where a counter bump is nanoseconds — so unlike the
+//! engine (one seam per run) every durability point is instrumented
+//! directly: each fsync is counted and timed, every WAL append adds
+//! its batch bytes, checkpoints record wall time, and each
+//! [`SessionStore::open`](crate::SessionStore::open) counts its
+//! [`RecoveryOutcome`](crate::RecoveryOutcome) by kind.
+
+use std::io;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use cspm_telemetry::{global, Counter, Histogram, TIME_BUCKETS};
+
+pub(crate) struct StoreMetrics {
+    pub(crate) fsyncs: Counter,
+    pub(crate) fsync_seconds: Histogram,
+    pub(crate) wal_bytes: Counter,
+    pub(crate) checkpoints: Counter,
+    pub(crate) checkpoint_seconds: Histogram,
+    rec_fresh: Counter,
+    rec_clean: Counter,
+    rec_tail_truncated: Counter,
+    rec_snapshot_fallback: Counter,
+}
+
+impl StoreMetrics {
+    /// The recovery counter for a [`RecoveryOutcome::label`] value.
+    ///
+    /// [`RecoveryOutcome::label`]: crate::RecoveryOutcome::label
+    pub(crate) fn recovery(&self, label: &str) -> &Counter {
+        match label {
+            "fresh" => &self.rec_fresh,
+            "clean" => &self.rec_clean,
+            "tail-truncated" => &self.rec_tail_truncated,
+            _ => &self.rec_snapshot_fallback,
+        }
+    }
+}
+
+pub(crate) fn store_metrics() -> &'static StoreMetrics {
+    static METRICS: OnceLock<StoreMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = global();
+        let recovery = |outcome| {
+            r.counter_with(
+                "cspm_store_recoveries_total",
+                "Store opens by recovery outcome.",
+                &[("outcome", outcome)],
+            )
+        };
+        StoreMetrics {
+            fsyncs: r.counter(
+                "cspm_store_fsync_total",
+                "fsync/fdatasync calls issued by the store (WAL, snapshot, directory).",
+            ),
+            fsync_seconds: r.histogram(
+                "cspm_store_fsync_seconds",
+                "Wall time per fsync/fdatasync call.",
+                &TIME_BUCKETS,
+            ),
+            wal_bytes: r.counter(
+                "cspm_store_wal_bytes_total",
+                "Bytes appended to the delta WAL (framed batch size).",
+            ),
+            checkpoints: r.counter(
+                "cspm_store_checkpoints_total",
+                "Completed checkpoints (snapshot written, WAL reset).",
+            ),
+            checkpoint_seconds: r.histogram(
+                "cspm_store_checkpoint_seconds",
+                "Wall time per checkpoint, encode through WAL reset.",
+                &TIME_BUCKETS,
+            ),
+            rec_fresh: recovery("fresh"),
+            rec_clean: recovery("clean"),
+            rec_tail_truncated: recovery("tail-truncated"),
+            rec_snapshot_fallback: recovery("snapshot-fallback"),
+        }
+    })
+}
+
+/// Runs `sync` (an fsync-flavoured call), counting it and timing it
+/// whether it succeeds or not — a failed fsync still hit the disk
+/// queue, and its latency is exactly the kind worth seeing.
+pub(crate) fn timed_fsync<T>(sync: impl FnOnce() -> io::Result<T>) -> io::Result<T> {
+    let started = Instant::now();
+    let res = sync();
+    let m = store_metrics();
+    m.fsyncs.inc();
+    m.fsync_seconds.observe(started.elapsed().as_secs_f64());
+    res
+}

@@ -18,6 +18,8 @@
 //! | [`alarm`] | `cspm-alarm` | telecom alarm correlation (Fig. 8) + compression |
 //! | [`classify`] | `cspm-classify` | graph classification with a-star features (future work §VII) |
 //! | [`serve`] | `cspm-serve` | multi-tenant mining daemon: line-JSON protocol, registry, eviction |
+//! | [`store`] | `cspm-store` | durable sessions: snapshot + delta WAL, fault injection |
+//! | [`telemetry`] | `cspm-telemetry` | lock-free metrics registry + Prometheus exposition |
 //!
 //! ## Quickstart
 //!
@@ -59,3 +61,4 @@ pub use cspm_mdl as mdl;
 pub use cspm_nn as nn;
 pub use cspm_serve as serve;
 pub use cspm_store as store;
+pub use cspm_telemetry as telemetry;

@@ -79,7 +79,9 @@ const USAGE: &str = "usage:
   cspm client open <session>           --socket <path> [--graph <file>]
   cspm client delta <session>          --socket <path> [--file <json>]
   cspm client mine <session>           --socket <path> [--deadline-ms N] [--top K]
+  cspm client subscribe <session>      --socket <path> [--deadline-ms N] [--top K]
   cspm client stats [<session>]        --socket <path>
+  cspm client metrics                  --socket <path>
   cspm client close <session>          --socket <path>
 
 machine-readable output:
@@ -110,8 +112,14 @@ mining as a service (wire protocol: docs/FORMATS.md §7):
                        tenants checkpoint to --store-dir for warm re-open)
   client               one request per invocation: builds the JSON line,
                        prints the daemon's response line on stdout, and
-                       exits nonzero when the daemon reports an error
+                       exits nonzero when something fails — 1 when the
+                       daemon answers \"ok\":false, 2 when the transport
+                       fails (no daemon, dead socket, torn stream)
                        (delta reads the delta object from --file or stdin)
+  client subscribe     like client mine, but streams one progress line
+                       per accepted merge before the final response
+  client metrics       prints the daemon's Prometheus text exposition
+                       (engine, store, and serve metric families)
 
 real datasets (requires a build with --features real-data):
   --input <dump>       ingest a real dataset dump; parsed graphs are cached
@@ -867,14 +875,20 @@ fn serve(args: &[String]) -> Result<(), String> {
 /// `cspm client`: one request per invocation. Builds the JSON request
 /// line locally (validating deltas client-side with the same decoder
 /// the daemon uses), sends it over the Unix socket, prints the
-/// daemon's single response line on stdout, and exits nonzero when the
-/// response says `"ok":false` — so shell/CI pipelines can gate on it.
+/// daemon's response on stdout, and exits nonzero when something
+/// fails, with distinct codes so pipelines can tell the failure domains
+/// apart: **1** when the daemon answered `"ok":false` (a server-side
+/// refusal — the typed error line is on stdout), **2** when the
+/// transport failed (no daemon, dead socket, torn or non-JSON stream).
+/// Argument mistakes stay ordinary usage errors (code 1 with the usage
+/// banner). `subscribe` streams progress lines until the terminal
+/// line; `metrics` unwraps the exposition text and prints it raw.
 fn client(args: &[String]) -> Result<(), String> {
     use cspm::serve::json::Value;
 
     let op = args
         .first()
-        .ok_or("client needs an op: ping|open|delta|mine|stats|close|shutdown")?
+        .ok_or("client needs an op: ping|open|delta|mine|subscribe|stats|metrics|close|shutdown")?
         .as_str();
     let mut socket: Option<String> = None;
     let mut session: Option<String> = None;
@@ -922,7 +936,7 @@ fn client(args: &[String]) -> Result<(), String> {
             .ok_or_else(|| format!("client {op} needs a session name"))
     };
     match op {
-        "ping" | "shutdown" => {}
+        "ping" | "shutdown" | "metrics" => {}
         "open" => {
             fields.push(("session".into(), Value::Str(need_session()?)));
             if let Some(path) = &graph_file {
@@ -966,7 +980,7 @@ fn client(args: &[String]) -> Result<(), String> {
                 _ => return Err("delta must be a JSON object".into()),
             }
         }
-        "mine" => {
+        "mine" | "subscribe" => {
             fields.push(("session".into(), Value::Str(need_session()?)));
             if let Some(ms) = deadline_ms {
                 fields.push(("deadline_ms".into(), Value::Num(ms as f64)));
@@ -985,27 +999,115 @@ fn client(args: &[String]) -> Result<(), String> {
     }
 
     let request = Value::Obj(fields).to_json();
-    let response = client_round_trip(&socket, &request)?;
-    println!("{response}");
+    if op == "subscribe" {
+        return client_subscribe(&socket, &request);
+    }
+    let response = match client_round_trip(&socket, &request) {
+        Ok(r) => r,
+        Err(msg) => transport_failed(&msg),
+    };
     // Daemon-side refusals are not CLI-usage mistakes: report them on
-    // stderr and exit nonzero without re-printing the usage banner (the
-    // typed error line is already on stdout for scripts to parse).
+    // stderr and exit 1 without re-printing the usage banner (the typed
+    // error line is already on stdout for scripts to parse). A daemon
+    // that answers gibberish is a transport failure: exit 2.
     match cspm::serve::json::parse(&response) {
-        Ok(v) if v.get("ok").and_then(Value::as_bool) == Some(true) => Ok(()),
-        Ok(v) => {
-            let (code, message) = match v.get("error") {
-                Some(err) => (
-                    err.get("code").and_then(Value::as_str).unwrap_or("?"),
-                    err.get("message").and_then(Value::as_str).unwrap_or(""),
-                ),
-                None => ("?", ""),
-            };
-            eprintln!("error: daemon refused: {code}: {message}");
-            std::process::exit(1);
+        Ok(v) if v.get("ok").and_then(Value::as_bool) == Some(true) => {
+            if op == "metrics" {
+                if let Some(text) = v.get("text").and_then(Value::as_str) {
+                    print!("{text}");
+                    return Ok(());
+                }
+            }
+            println!("{response}");
+            Ok(())
         }
-        Err(e) => {
-            eprintln!("error: daemon sent invalid JSON: {e}");
-            std::process::exit(1);
+        Ok(v) => {
+            println!("{response}");
+            daemon_refused(&v);
+        }
+        Err(e) => transport_failed(&format!("daemon sent invalid JSON: {e}")),
+    }
+}
+
+/// Transport failure (no daemon, dead socket, torn or non-JSON
+/// stream): report on stderr and exit 2 — distinct from both usage
+/// errors and daemon-side refusals.
+fn transport_failed(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+/// Server-side refusal (`"ok":false` on the wire): report the typed
+/// error on stderr and exit 1. The response line is already on stdout.
+fn daemon_refused(v: &cspm::serve::json::Value) -> ! {
+    use cspm::serve::json::Value;
+    let (code, message) = match v.get("error") {
+        Some(err) => (
+            err.get("code").and_then(Value::as_str).unwrap_or("?"),
+            err.get("message").and_then(Value::as_str).unwrap_or(""),
+        ),
+        None => ("?", ""),
+    };
+    eprintln!("error: daemon refused: {code}: {message}");
+    std::process::exit(1);
+}
+
+/// `cspm client subscribe`: stream the progress events of one mine as
+/// they happen, line by line, then the terminal line. Exit codes match
+/// the single-shot path: 1 when the terminal line is a refusal, 2 when
+/// the transport dies mid-stream.
+fn client_subscribe(socket: &str, request: &str) -> Result<(), String> {
+    use cspm::serve::json::Value;
+    use std::io::{BufRead as _, BufReader, Write as _};
+    use std::os::unix::net::UnixStream;
+    use std::time::Duration;
+
+    let connect = || -> Result<UnixStream, String> {
+        let stream = UnixStream::connect(socket)
+            .map_err(|e| format!("cannot connect to {socket}: {e} (is the daemon running?)"))?;
+        stream
+            .set_read_timeout(Some(Duration::from_secs(600)))
+            .and_then(|()| stream.set_write_timeout(Some(Duration::from_secs(30))))
+            .map_err(|e| format!("cannot set socket timeouts: {e}"))?;
+        Ok(stream)
+    };
+    let stream = match connect() {
+        Ok(s) => s,
+        Err(msg) => transport_failed(&msg),
+    };
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(e) => transport_failed(&format!("cannot clone socket: {e}")),
+    };
+    if let Err(e) = writer
+        .write_all(request.as_bytes())
+        .and_then(|()| writer.write_all(b"\n"))
+    {
+        transport_failed(&format!("cannot send request: {e}"));
+    }
+    let mut reader = BufReader::new(stream);
+    loop {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => transport_failed("daemon closed the connection mid-stream"),
+            Ok(_) => {}
+            Err(e) => transport_failed(&format!("cannot read stream: {e}")),
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        println!("{line}");
+        match cspm::serve::json::parse(line) {
+            Ok(v) => {
+                if v.get("ok").and_then(Value::as_bool) != Some(true) {
+                    daemon_refused(&v);
+                }
+                if v.get("event").and_then(Value::as_str) == Some("done") {
+                    return Ok(());
+                }
+            }
+            Err(e) => transport_failed(&format!("daemon sent invalid JSON: {e}")),
         }
     }
 }

@@ -1,9 +1,13 @@
 //! Property-based tests of the core invariants, on random attributed
 //! graphs and random transaction databases.
 
-use cspm::core::{cspm_basic, cspm_partial, CoresetMode, CspmConfig, GainPolicy, InvertedDb};
+use cspm::core::{
+    cspm_basic, cspm_partial, CoresetMode, CspmConfig, GainPolicy, InvertedDb, Miner,
+};
+use cspm::graph::dynamic::{DeltaVertex, GraphDelta};
 use cspm::graph::{AttributedGraph, GraphBuilder};
 use cspm::itemset::{eclat, krimp, slim, KrimpConfig, SlimConfig, TransactionDb};
+use cspm::store::Durable;
 use proptest::prelude::*;
 
 /// Strategy: a connected attributed graph with `n` vertices, `k`
@@ -196,5 +200,109 @@ proptest! {
             rebuilt.sort_unstable();
             prop_assert_eq!(rebuilt, t.to_vec());
         }
+    }
+}
+
+/// In-memory footprint estimate vs. ground-truth serialized size for
+/// one durable session state: `(approx_bytes, snapshot_bytes)` right
+/// after a checkpoint, so the snapshot reflects exactly the resident
+/// graph + pristine database that `approx_bytes` counts.
+fn footprint_vs_snapshot(s: &cspm::store::DurableSession) -> (usize, u64) {
+    (s.session().approx_bytes(), s.stats().snapshot_bytes)
+}
+
+proptest! {
+    // File-backed cases (each checkpoints 4×); fewer cases than the
+    // pure-compute block keeps the suite's wall time flat.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The eviction budget's currency, `ResidentFootprint::approx_bytes`,
+    /// stays within a constant factor of the measured serialized size
+    /// (the checkpoint snapshot) as a session is grown, churned, and
+    /// compacted. The estimate need not be exact — it skips fixed-size
+    /// headers by design — but if it drifted more than a constant factor
+    /// from reality, `--mem-budget` enforcement would be meaningless.
+    #[test]
+    fn approx_bytes_tracks_serialized_size(g in arb_graph(), seed in any::<u64>()) {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static CASE: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join("cspm-prop-footprint");
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join(format!(
+            "{}-{}.cspm",
+            std::process::id(),
+            CASE.fetch_add(1, Ordering::Relaxed),
+        ));
+
+        // The estimate counts heap payloads that scale with the graph;
+        // the snapshot adds small fixed headers and saves on dense
+        // encodings (observed band: estimate 2.7–9.4× the snapshot).
+        // "Constant factor" with a small additive floor so 4-vertex
+        // graphs don't fail on header noise alone.
+        const FACTOR: f64 = 16.0;
+        const FLOOR: f64 = 512.0;
+        let in_band = |state: &str, s: &cspm::store::DurableSession| {
+            let (approx, ser) = footprint_vs_snapshot(s);
+            let (approx, ser) = (approx as f64, ser as f64);
+            assert!(approx > 0.0 && ser > 0.0, "{state}: empty measurement");
+            assert!(
+                approx <= FACTOR * ser + FLOOR,
+                "{state}: approx_bytes {approx} >> serialized {ser}"
+            );
+            assert!(
+                ser <= FACTOR * approx + FLOOR,
+                "{state}: serialized {ser} >> approx_bytes {approx}"
+            );
+        };
+
+        let mut s = Miner::new().threads(1).durable(&snap).unwrap();
+        s.mine(&g).unwrap();
+        in_band("mined", &s);
+
+        // Grow: new vertices wired to the existing chain, plus labels.
+        let n = g.vertex_count() as u32;
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut grow = GraphDelta::new();
+        for i in 0..n.div_ceil(2) {
+            let v = grow.add_vertex([format!("a{}", next() % 4)]);
+            grow.add_edge(v, DeltaVertex::Existing(next() as u32 % n));
+            if i % 2 == 0 {
+                grow.add_label(next() as u32 % n, format!("a{}", next() % 4));
+            }
+        }
+        s.stage_delta(&grow).unwrap();
+        s.run().unwrap();
+        s.checkpoint().unwrap();
+        in_band("grown", &s);
+
+        // Churn: detach vertices and strip edges/labels — the arena
+        // now carries release slack, the snapshot does not.
+        let mut churn = GraphDelta::new();
+        for i in 0..n / 3 {
+            churn.remove_vertex(next() as u32 % n);
+            let (u, v) = (i % n, (i + 1) % n);
+            churn.remove_edge(u, v);
+        }
+        s.stage_delta(&churn).unwrap();
+        s.run().unwrap();
+        s.checkpoint().unwrap();
+        in_band("churned", &s);
+
+        // Compaction densifies the arena in place; the estimate must
+        // follow the reclaim, not remember the slack.
+        s.compact_now();
+        s.checkpoint().unwrap();
+        in_band("compacted", &s);
+
+        std::fs::remove_file(&snap).ok();
+        let mut wal = snap.into_os_string();
+        wal.push(".wal");
+        std::fs::remove_file(wal).ok();
     }
 }

@@ -11,16 +11,23 @@ use std::path::{Path, PathBuf};
 use std::process::{Child, Command};
 use std::time::{Duration, Instant};
 
-fn cspm(args: &[&str]) -> (bool, String, String) {
+/// Runs the binary and returns its raw exit code — the client's code
+/// is part of its contract (0 ok, 1 daemon refusal, 2 transport).
+fn cspm_code(args: &[&str]) -> (Option<i32>, String, String) {
     let out = Command::new(env!("CARGO_BIN_EXE_cspm"))
         .args(args)
         .output()
         .expect("binary runs");
     (
-        out.status.success(),
+        out.status.code(),
         String::from_utf8_lossy(&out.stdout).into_owned(),
         String::from_utf8_lossy(&out.stderr).into_owned(),
     )
+}
+
+fn cspm(args: &[&str]) -> (bool, String, String) {
+    let (code, stdout, stderr) = cspm_code(args);
+    (code == Some(0), stdout, stderr)
 }
 
 fn temp_dir(name: &str) -> PathBuf {
@@ -175,6 +182,82 @@ fn three_concurrent_tenants_mine_bit_identically_to_one_shot() {
 }
 
 #[test]
+fn subscribe_streams_progress_and_metrics_expose_every_layer() {
+    let dir = temp_dir("observe");
+    let socket = dir.join("d.sock");
+    let daemon = Daemon::spawn(
+        &socket,
+        &["--store-dir", dir.join("store").to_str().unwrap()],
+    );
+    let sock = daemon.socket_str();
+
+    let graph = dir.join("g.txt");
+    let graph_str = graph.to_str().unwrap();
+    let (ok, _, err) = cspm(&[
+        "generate", "dblp", graph_str, "--scale", "tiny", "--seed", "7",
+    ]);
+    assert!(ok, "generate: {err}");
+    let (ok, _, err) = cspm(&[
+        "client", "open", "obs", "--socket", sock, "--graph", graph_str,
+    ]);
+    assert!(ok, "open: {err}");
+
+    // Ground truth for the stream's terminal line: a plain mine.
+    let (ok, resp, err) = cspm(&["client", "mine", "obs", "--socket", sock]);
+    assert!(ok, "mine: {err}");
+    let expected = json_str_field(&resp, "final_dl_bits").expect("mine emits final_dl_bits");
+
+    // Subscribe: at least one progress event line, then the terminal
+    // "done" line, bit-identical to the plain mine (warm ≡ warm).
+    let (ok, stream, err) = cspm(&["client", "subscribe", "obs", "--socket", sock]);
+    assert!(ok, "subscribe: {err}");
+    let lines: Vec<&str> = stream.lines().collect();
+    assert!(lines.len() >= 2, "expected progress + done lines: {stream}");
+    let done_at = lines
+        .iter()
+        .position(|l| l.contains("\"event\":\"done\""))
+        .expect("stream ends with a done event");
+    assert_eq!(done_at, lines.len() - 1, "done must be terminal: {stream}");
+    assert!(done_at >= 1, "no progress line before done: {stream}");
+    for l in &lines[..done_at] {
+        assert!(l.contains("\"event\":\"progress\""), "stray line: {l}");
+        assert!(l.contains("\"dl_after\""), "progress line shape: {l}");
+    }
+    let got = json_str_field(lines[done_at], "final_dl_bits").expect("done carries final_dl_bits");
+    assert_eq!(got, expected, "subscribe terminal != plain mine");
+
+    // Close checkpoints the durable tenant — store fsync traffic.
+    let (ok, _, err) = cspm(&["client", "close", "obs", "--socket", sock]);
+    assert!(ok, "close: {err}");
+
+    // One scrape shows all three instrumented layers.
+    let (ok, text, err) = cspm(&["client", "metrics", "--socket", sock]);
+    assert!(ok, "metrics: {err}");
+    assert!(
+        text.contains("# TYPE cspm_engine_runs_total counter"),
+        "engine family missing: {text}"
+    );
+    assert!(
+        text.contains("cspm_serve_requests_total{op=\"mine\"}"),
+        "serve family missing: {text}"
+    );
+    assert!(
+        text.contains("cspm_store_fsync_total"),
+        "store family missing: {text}"
+    );
+    assert!(
+        text.contains("cspm_engine_mine_seconds_bucket"),
+        "histogram buckets missing: {text}"
+    );
+    assert!(
+        text.contains("cspm_serve_requests_total{op=\"subscribe\"} 1"),
+        "subscribe not counted: {text}"
+    );
+
+    daemon.terminate();
+}
+
+#[test]
 fn daemon_reports_typed_errors_and_sigterm_shutdown_is_clean() {
     let dir = temp_dir("errors");
     let socket = dir.join("d.sock");
@@ -184,11 +267,23 @@ fn daemon_reports_typed_errors_and_sigterm_shutdown_is_clean() {
     );
     let sock = daemon.socket_str();
 
-    // Unknown session: typed error line on stdout, nonzero exit.
-    let (ok, resp, err) = cspm(&["client", "mine", "ghost", "--socket", sock]);
-    assert!(!ok, "mining a nonexistent session must fail");
+    // Unknown session: typed error line on stdout, and exit code 1 —
+    // the daemon answered, it just refused.
+    let (code, resp, err) = cspm_code(&["client", "mine", "ghost", "--socket", sock]);
+    assert_eq!(code, Some(1), "daemon refusal must exit 1: {err}");
     assert!(resp.contains("\"unknown_session\""), "stdout: {resp}");
     assert!(err.contains("unknown_session"), "stderr: {err}");
+
+    // No daemon at all: exit code 2, no usage banner — a transport
+    // failure is neither a usage mistake nor a server-side refusal.
+    let dead = dir.join("nobody-home.sock");
+    let (code, _, err) = cspm_code(&["client", "ping", "--socket", dead.to_str().unwrap()]);
+    assert_eq!(code, Some(2), "transport failure must exit 2: {err}");
+    assert!(err.contains("cannot connect"), "stderr: {err}");
+    assert!(
+        !err.contains("usage:"),
+        "transport failure printed usage: {err}"
+    );
 
     // A client-side invalid delta never even reaches the daemon.
     let bad = dir.join("bad.json");
